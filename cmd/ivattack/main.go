@@ -1,0 +1,55 @@
+// Command ivattack demonstrates the metadata side channel of Section IV:
+// it recovers an RSA-style secret exponent through shared integrity-tree
+// nodes under the Baseline scheme and shows the same procedure failing
+// under IvLeague.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ivleague/internal/attack"
+	"ivleague/internal/config"
+)
+
+func main() {
+	bits := flag.Int("bits", 2048, "secret exponent length")
+	level := flag.Int("level", 2, "tree level of the shared node")
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.DRAM.SizeBytes = 1 << 30
+	cfg.IvLeague.TreeLingCount = 128
+
+	acfg := attack.DefaultConfig()
+	acfg.KeyBits = *bits
+	acfg.SharedLevel = *level
+
+	for _, scheme := range []config.Scheme{
+		config.SchemeBaseline,
+		config.SchemeIvLeagueBasic,
+		config.SchemeIvLeagueInvert,
+		config.SchemeIvLeaguePro,
+	} {
+		res, err := attack.Run(&cfg, scheme, acfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("== %s ==\n", scheme)
+		fmt.Printf("  attacker/victim share tree nodes: %v\n", res.SharedNodes)
+		fmt.Printf("  key bits recovered:               %.1f%%\n", res.Accuracy*100)
+		fmt.Printf("  reload latency bit=1 / bit=0:     %.0f / %.0f cycles\n",
+			res.MeanLatencyHit, res.MeanLatencyMiss)
+		fmt.Printf("  first attacker-observed latencies (Figure 3 trace):\n    ")
+		for i, l := range res.Trace {
+			if i == 24 {
+				break
+			}
+			fmt.Printf("%d ", l)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Under the shared global tree the two latency bands separate and the")
+	fmt.Println("exponent is recovered; under IvLeague no metadata is shared and the")
+	fmt.Println("recovery accuracy collapses to coin-flipping.")
+}

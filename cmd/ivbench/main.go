@@ -1,0 +1,105 @@
+// Command ivbench regenerates the paper's tables and figures. With no
+// arguments it runs every experiment at quick scale; pass experiment IDs
+// (fig3 fig15 fig16 fig17a fig17b fig18 fig19 fig20a fig20b fig21 fig22
+// table3) to select a subset, and -full for longer, tighter runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ivleague/internal/figures"
+	"ivleague/internal/workload"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the long (paper-scale) configuration")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	mixFilter := flag.String("mixes", "", "comma-separated mix subset (e.g. S-1,L-2)")
+	flag.Parse()
+
+	opts := figures.Quick()
+	if *full {
+		opts = figures.Full()
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	if *mixFilter != "" {
+		var mixes []workload.Mix
+		for _, name := range strings.Split(*mixFilter, ",") {
+			m, err := workload.MixByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			mixes = append(mixes, m)
+		}
+		opts.Mixes = mixes
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+	all := len(want) == 0
+	sel := func(id string) bool { return all || want[id] }
+
+	// Simulation-independent experiments first (fast).
+	if sel("table3") {
+		fmt.Println("== Table III: hardware cost ==")
+		fmt.Println(figures.Table3(&opts.Cfg))
+	}
+	if sel("fig21") {
+		fmt.Println("== Figure 21: required TreeLings vs size and skewness (D=4096) ==")
+		fmt.Println(figures.Fig21())
+	}
+	if sel("fig22") {
+		fmt.Println("== Figure 22: scheduling success rate, static partitioning vs IvLeague ==")
+		fmt.Println(figures.Fig22(opts))
+	}
+	if sel("fig3") {
+		fmt.Println("== Figure 3 / Section IV: metadata side-channel attack ==")
+		fmt.Println(figures.Fig3(opts))
+	}
+
+	needRunSet := sel("fig15") || sel("fig16") || sel("fig17b") || sel("fig18") || sel("fig19")
+	var rs *figures.RunSet
+	if needRunSet {
+		rs = figures.Run(opts)
+	}
+	if sel("fig15") {
+		fmt.Println("== Figure 15: weighted IPC normalized to Baseline ==")
+		fmt.Println(rs.Fig15())
+	}
+	if sel("fig16") {
+		fmt.Println("== Figure 16: average verification path length ==")
+		fmt.Println(rs.Fig16())
+	}
+	if sel("fig17a") {
+		fmt.Println("== Figure 17a: NFL vs naive bit vectors (x = failed) ==")
+		fmt.Println(figures.Fig17a(opts))
+	}
+	if sel("fig17b") {
+		fmt.Println("== Figure 17b: TreeLing utilization ==")
+		fmt.Println(rs.Fig17b())
+	}
+	if sel("fig18") {
+		fmt.Println("== Figure 18: NFLB hit rate ==")
+		fmt.Println(rs.Fig18())
+	}
+	if sel("fig19") {
+		fmt.Println("== Figure 19: total memory accesses vs Baseline ==")
+		fmt.Println(rs.Fig19())
+	}
+	if sel("fig20a") {
+		fmt.Println("== Figure 20a: TreeLing size sensitivity ==")
+		fmt.Println(figures.Fig20a(opts))
+	}
+	if sel("fig20b") {
+		fmt.Println("== Figure 20b: tree metadata cache size sensitivity ==")
+		fmt.Println(figures.Fig20b(opts))
+	}
+}

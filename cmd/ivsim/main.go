@@ -1,0 +1,135 @@
+// Command ivsim runs one workload mix under one secure-memory scheme and
+// prints the detailed statistics of the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ivleague/internal/config"
+	"ivleague/internal/sim"
+	"ivleague/internal/workload"
+)
+
+func main() {
+	mixName := flag.String("mix", "S-1", "workload mix (S-1..S-6, M-1..M-6, L-1..L-4)")
+	schemeName := flag.String("scheme", "ivleague-pro",
+		"scheme: baseline | static | ivleague-basic | ivleague-invert | ivleague-pro | bv-v1 | bv-v2")
+	measure := flag.Uint64("instr", 120_000, "measured instructions per core")
+	warmup := flag.Uint64("warmup", 30_000, "warmup instructions per core")
+	scale := flag.Float64("scale", 0.25, "footprint scale (1.0 = paper-sized)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	traceOut := flag.String("trace-out", "", "record the access trace to this file")
+	traceIn := flag.String("trace-in", "", "replay a recorded trace instead of the generators")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := config.Default()
+	cfg.Sim.MeasureIntr = *measure
+	cfg.Sim.WarmupInstr = *warmup
+	cfg.Sim.FootprintScale = *scale
+	cfg.Sim.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var res sim.Result
+	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		res, err = sim.ReplayMix(&cfg, scheme, mix, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *traceOut != "":
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m, err := sim.NewMachine(&cfg, scheme, mix, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w := m.RecordTrace(f)
+		res = m.Run()
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f.Close()
+		fmt.Printf("trace: %d records -> %s\n", w.Count(), *traceOut)
+	default:
+		res = sim.RunMix(&cfg, scheme, mix)
+	}
+	fmt.Printf("mix %s under %s (footprint %d MB, %d procs)\n",
+		mix.Name, scheme, mix.FootprintMB(), len(mix.Procs))
+	if res.Failed {
+		fmt.Printf("RUN FAILED: %s\n", res.FailMsg)
+		os.Exit(1)
+	}
+	for i, b := range res.Bench {
+		fmt.Printf("  core %d %-14s IPC %.4f\n", i, b, res.IPC[i])
+	}
+	fmt.Printf("memory accesses:      %d (mean read latency %.1f cycles)\n", res.MemAccesses, res.DRAMReadLat)
+	fmt.Printf("verifications:        %d\n", res.Verification)
+	names := make([]string, 0, len(res.PathLenMean))
+	for n := range res.PathLenMean {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  path length %-14s %.3f\n", n, res.PathLenMean[n])
+	}
+	fmt.Printf("counter cache hit:    %.3f\n", res.CtrHitRate)
+	fmt.Printf("tree cache hit:       %.3f\n", res.TreeHitRate)
+	fmt.Printf("LLC miss rate:        %.3f\n", res.L3MissRate)
+	if scheme.IsIvLeague() {
+		fmt.Printf("NFLB hit rate:        %.3f\n", res.NFLBHitRate)
+		fmt.Printf("LMM cache hit rate:   %.3f\n", res.LMMHitRate)
+		fmt.Printf("TreeLing utilization: %.5f (untracked slots: %d)\n", res.Utilization, res.Untracked)
+	}
+	if scheme == config.SchemeStaticPartition {
+		fmt.Printf("partition swaps:      %d\n", res.Swaps)
+	}
+}
+
+func parseScheme(s string) (config.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return config.SchemeBaseline, nil
+	case "static", "static-partition":
+		return config.SchemeStaticPartition, nil
+	case "ivleague-basic", "basic":
+		return config.SchemeIvLeagueBasic, nil
+	case "ivleague-invert", "invert":
+		return config.SchemeIvLeagueInvert, nil
+	case "ivleague-pro", "pro":
+		return config.SchemeIvLeaguePro, nil
+	case "bv-v1":
+		return config.SchemeBVv1, nil
+	case "bv-v2":
+		return config.SchemeBVv2, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}

@@ -1,0 +1,3 @@
+module ivleague
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package cache implements the set-associative cache model used for the
+// data hierarchy (L1/L2/LLC) and for the secure-memory metadata caches
+// (encryption-counter cache, integrity-tree cache, LMM cache).
+//
+// Two properties needed by the paper's evaluation are supported beyond a
+// plain LRU cache:
+//
+//   - Randomized indexing (Randomized in the config): a keyed hash maps a
+//     line address to its set, standing in for MIRAGE-style randomized
+//     caches that the baseline integrates to defeat conflict-based attacks.
+//   - Way partitioning/locking: a number of ways per set can be reserved so
+//     that pinned lines (e.g. the tree levels above TreeLing roots) are
+//     never evicted by normal fills, matching IvLeague's root locking.
+package cache
+
+import (
+	"ivleague/internal/config"
+	"ivleague/internal/stats"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag     uint64
+	lastUse uint64
+	valid   bool
+	dirty   bool
+	locked  bool
+}
+
+// Result describes the outcome of a cache access.
+type Result struct {
+	Hit bool
+	// Evicted reports that a valid line was displaced by the fill.
+	Evicted bool
+	// WritebackAddr is the byte address of the displaced dirty line;
+	// meaningful only when EvictedDirty is true.
+	WritebackAddr uint64
+	EvictedDirty  bool
+	// Latency is the hit latency of this cache in cycles (the caller adds
+	// lower-level latency on a miss).
+	Latency int
+}
+
+// Cache is a single-level set-associative cache model. It tracks only tags
+// and replacement state (no data contents); functional data lives in the
+// memory model.
+type Cache struct {
+	cfg       config.CacheConfig
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	key       uint64 // randomized-indexing key
+	tick      uint64
+	reserved  int // ways [0,reserved) hold only locked lines
+
+	Hits      stats.Counter
+	Misses    stats.Counter
+	Evictions stats.Counter
+}
+
+// New builds a cache from its configuration. seed keys the randomized index
+// hash (ignored for non-randomized caches). reservedWays ways per set are
+// set aside for locked lines; pass 0 for a normal cache.
+func New(cfg config.CacheConfig, seed uint64, reservedWays int) *Cache {
+	if err := cfg.Validate("cache"); err != nil {
+		panic(err)
+	}
+	if reservedWays < 0 || reservedWays >= cfg.Ways {
+		panic("cache: reservedWays must leave at least one normal way")
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, nsets),
+		setMask:  uint64(nsets - 1),
+		key:      seed ^ 0x9e3779b97f4a7c15,
+		reserved: reservedWays,
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	c.lineShift = shift
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+func (c *Cache) index(lineAddr uint64) uint64 {
+	if !c.cfg.Randomized {
+		return lineAddr & c.setMask
+	}
+	// A keyed mix standing in for the randomized address-to-set mapping of
+	// MIRAGE-style caches.
+	x := lineAddr ^ c.key
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	x *= 0x94d049bb133111eb
+	x ^= x >> 32
+	return x & c.setMask
+}
+
+// Access looks up addr (a byte address), filling on a miss. write marks the
+// line dirty on hit or fill.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.tick++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[c.index(lineAddr)]
+	res := Result{Latency: c.cfg.HitLatency}
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lastUse = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			res.Hit = true
+			c.Hits.Inc()
+			return res
+		}
+	}
+	c.Misses.Inc()
+	// Fill: choose an invalid or LRU way among the non-reserved ways.
+	victim := -1
+	for i := c.reserved; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Fully reserved set (cannot happen: reserved < ways).
+		panic("cache: no fillable way")
+	}
+	if set[victim].valid {
+		res.Evicted = true
+		c.Evictions.Inc()
+		if set[victim].dirty {
+			res.EvictedDirty = true
+			res.WritebackAddr = set[victim].tag << c.lineShift
+		}
+	}
+	set[victim] = line{tag: lineAddr, lastUse: c.tick, valid: true, dirty: write}
+	return res
+}
+
+// Probe reports whether addr is present without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := c.sets[c.index(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr from the cache (even if locked), reporting whether
+// it was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	lineAddr := addr >> c.lineShift
+	set := c.sets[c.index(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			return
+		}
+	}
+	return
+}
+
+// Lock pins addr into one of the reserved ways of its set. Locked lines are
+// immune to normal eviction. It panics if the cache was built without
+// reserved ways or the set's reserved ways are all occupied by other locked
+// lines, since root locking is a static provisioning decision that must be
+// sized correctly by the caller.
+func (c *Cache) Lock(addr uint64) {
+	if c.reserved == 0 {
+		panic("cache: Lock on a cache without reserved ways")
+	}
+	c.tick++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[c.index(lineAddr)]
+	for i := 0; i < c.reserved; i++ {
+		if set[i].valid && set[i].tag == lineAddr {
+			return // already locked
+		}
+	}
+	for i := 0; i < c.reserved; i++ {
+		if !set[i].valid {
+			set[i] = line{tag: lineAddr, lastUse: c.tick, valid: true, locked: true}
+			return
+		}
+	}
+	panic("cache: reserved ways exhausted; increase RootLockWays or reduce pinned lines")
+}
+
+// Flush invalidates every line, returning the number of dirty lines dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				dirty++
+			}
+			c.sets[si][wi] = line{}
+		}
+	}
+	return dirty
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	return stats.Ratio(c.Hits.Value(), c.Hits.Value()+c.Misses.Value())
+}
+
+// ResetStats clears the counters but keeps cache contents (used at the end
+// of warmup).
+func (c *Cache) ResetStats() {
+	c.Hits.Reset()
+	c.Misses.Reset()
+	c.Evictions.Reset()
+}
+
+// Occupancy returns the fraction of lines currently valid.
+func (c *Cache) Occupancy() float64 {
+	valid := 0
+	total := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			total++
+			if c.sets[si][wi].valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(total)
+}

@@ -1,0 +1,124 @@
+package core
+
+import "ivleague/internal/layout"
+
+// bvState is the naive per-TreeLing bit-vector free-node tracking used by
+// the BV-v1/BV-v2 ablation of Figure 17a: one bit per leaf slot ('1' =
+// occupied), a head position, and sequential scanning for free slots.
+// Unlike the NFL there is no on-chip buffer: every 64-byte chunk of the
+// vector touched during a scan is a memory access.
+type bvState struct {
+	words   []uint64
+	slots   int
+	head    int // slot position scan frontier
+	nBlocks int
+}
+
+// bitsPerBlock is how many availability bits fit one 64-byte memory block.
+const bitsPerBlock = 64 * 8
+
+func newBVState(lay *layout.Layout) *bvState {
+	slots := lay.LevelNodeCount(1) * lay.Arity
+	return &bvState{
+		words:   make([]uint64, (slots+63)/64),
+		slots:   slots,
+		nBlocks: (slots + bitsPerBlock - 1) / bitsPerBlock,
+	}
+}
+
+func (b *bvState) set(pos int)        { b.words[pos/64] |= 1 << uint(pos%64) }
+func (b *bvState) clear(pos int)      { b.words[pos/64] &^= 1 << uint(pos%64) }
+func (b *bvState) isSet(pos int) bool { return b.words[pos/64]&(1<<uint(pos%64)) != 0 }
+
+// scan finds the first clear bit at or after from, charging one memory
+// read per bit-vector block inspected. Returns -1 when none.
+func (b *bvState) scan(lay *layout.Layout, tl, from int, ops *OpList) int {
+	lastBlock := -1
+	for pos := from; pos < b.slots; pos++ {
+		if blk := pos / bitsPerBlock; blk != lastBlock {
+			ops.Read(lay.NFLBlockAddr(tl, blk))
+			lastBlock = blk
+		}
+		if !b.isSet(pos) {
+			return pos
+		}
+	}
+	return -1
+}
+
+// bvSlotID converts a bit position to a SlotID (leaf-level mapping only).
+func (c *Controller) bvSlotID(tl, pos int) SlotID {
+	node := c.lay.NodeIndex(1, pos/c.arity)
+	return MakeSlot(tl, node, pos%c.arity)
+}
+
+// bvPos converts a SlotID back to its bit position.
+func (c *Controller) bvPos(slot SlotID) int {
+	return c.lay.PosInLevel(slot.Node())*c.arity + slot.Slot()
+}
+
+// bvAlloc allocates a leaf slot under the BV-v1/BV-v2 policies.
+func (c *Controller) bvAlloc(d *Domain, ops *OpList) (SlotID, error) {
+	if len(d.treelings) == 0 {
+		if err := c.assignTreeLing(d, ops); err != nil {
+			return InvalidSlot, err
+		}
+	}
+	take := func(tl, pos int) (SlotID, error) {
+		bv := d.bv[tl]
+		bv.set(pos)
+		ops.Write(c.lay.NFLBlockAddr(tl, pos/bitsPerBlock))
+		d.mapped++
+		slot := c.bvSlotID(tl, pos)
+		c.markOccupied(d, slot)
+		return slot, nil
+	}
+	// Scan the current TreeLing from its head.
+	cur := d.treelings[d.bvCur]
+	bv := d.bv[cur]
+	if pos := bv.scan(c.lay, cur, bv.head, ops); pos >= 0 {
+		bv.head = pos + 1
+		return take(cur, pos)
+	}
+	if c.mode == ModeBVv2 {
+		// Cross-TreeLing sequential search over every assigned TreeLing.
+		for _, tl := range d.treelings {
+			if tl == cur {
+				continue
+			}
+			if pos := d.bv[tl].scan(c.lay, tl, 0, ops); pos >= 0 {
+				return take(tl, pos)
+			}
+		}
+	}
+	if err := c.assignTreeLing(d, ops); err != nil {
+		return InvalidSlot, err
+	}
+	tl := d.treelings[d.bvCur]
+	pos := d.bv[tl].scan(c.lay, tl, 0, ops)
+	if pos < 0 {
+		return InvalidSlot, ErrStarvation
+	}
+	d.bv[tl].head = pos + 1
+	return take(tl, pos)
+}
+
+// bvFree releases a slot under the BV policies. BV-v1 only reacts to
+// deallocations in the currently active TreeLing — frees elsewhere leak
+// their slot, which is what starves it on Medium/Large workloads.
+func (c *Controller) bvFree(d *Domain, slot SlotID, ops *OpList) {
+	tl := slot.TreeLing()
+	pos := c.bvPos(slot)
+	cur := d.treelings[d.bvCur]
+	if c.mode == ModeBVv1 && tl != cur {
+		d.meta[tl].leaked++
+		c.Untracked.Inc()
+		return
+	}
+	bv := d.bv[tl]
+	bv.clear(pos)
+	ops.Write(c.lay.NFLBlockAddr(tl, pos/bitsPerBlock))
+	if tl == cur && pos < bv.head {
+		bv.head = pos
+	}
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ivleague/internal/config"
+	"ivleague/internal/layout"
+	"ivleague/internal/stats"
+	"ivleague/internal/tree"
+)
+
+// Mode selects the TreeLing management variant.
+type Mode int
+
+// The IvLeague variants plus the bit-vector ablation allocators.
+const (
+	ModeBasic Mode = iota
+	ModeInvert
+	ModePro
+	ModeBVv1
+	ModeBVv2
+)
+
+// ErrStarvation is returned when no TreeLing is available for a new page
+// even though physical memory may remain (TreeLing starvation, Section
+// VI-D2).
+var ErrStarvation = errors.New("core: TreeLing starvation")
+
+// LeafUpdater receives out-of-band leaf re-mappings (IvLeague-Pro hotpage
+// migration updates a page's LMM without the page being accessed).
+type LeafUpdater interface {
+	UpdateLeaf(domainID int, pfn uint64, slot SlotID)
+}
+
+// Controller is the IV Domain Controller: it owns the Unassigned-TreeLing
+// FIFO and the Assignment Table, and performs all dynamic page-to-node
+// mapping on behalf of the (trusted) memory controller.
+type Controller struct {
+	mode   Mode
+	lay    *layout.Layout
+	cfg    config.IvLeagueConfig
+	arity  int
+	forest *tree.Forest // optional functional layer (nil = timing only)
+	leaf   LeafUpdater  // optional; used by ModePro migration
+
+	unassigned []int // FIFO of TreeLing IDs
+	fifoHead   int
+	domains    map[int]*Domain
+
+	// Statistics used by the evaluation figures.
+	Assignments    stats.Counter // TreeLing→domain assignments
+	Untracked      stats.Counter // slots leaked by NFL in-place tracking
+	Conversions    stats.Counter // Invert slot→parent conversions
+	Migrations     stats.Counter // Pro page→τhot migrations
+	MigrationsBack stats.Counter // Pro τhot→τreg migrations
+	AllocFailures  stats.Counter
+}
+
+// Domain is one IV domain's state in the Assignment Table.
+type Domain struct {
+	id        int
+	treelings []int // assignment order
+	space     *nflSpace
+	hotSpace  *nflSpace
+	meta      map[int]*tlMeta
+	bv        map[int]*bvState
+	bvCur     int // BV modes: index of the active TreeLing
+	nflb      *NFLB
+	hot       *hotTracker
+	hotPages  map[uint64]SlotID // pfn → τhot slot
+	hotOrder  []uint64          // migration order (FIFO reclaim)
+	sinceMig  uint64            // accesses since the last migration
+	mapped    uint64
+}
+
+// tlMeta is per-assigned-TreeLing bookkeeping: which slots are converted
+// to parent slots (ρ) and which are occupied by a page mapping.
+type tlMeta struct {
+	parent   []uint8 // per-node bitmask of parent slots
+	occupied []uint8 // per-node bitmask of page-mapped slots
+	leaked   int     // slots lost to untracked deallocations
+}
+
+// NewController builds the domain controller. forest may be nil to run
+// timing-only.
+func NewController(cfg *config.Config, lay *layout.Layout, mode Mode, forest *tree.Forest) *Controller {
+	c := &Controller{
+		mode:    mode,
+		lay:     lay,
+		cfg:     cfg.IvLeague,
+		arity:   cfg.SecureMem.TreeArity,
+		forest:  forest,
+		domains: make(map[int]*Domain),
+	}
+	c.unassigned = make([]int, lay.TreeLingCount)
+	for i := range c.unassigned {
+		c.unassigned[i] = i
+	}
+	return c
+}
+
+// SetLeafUpdater installs the out-of-band LMM update callback.
+func (c *Controller) SetLeafUpdater(u LeafUpdater) { c.leaf = u }
+
+// Mode returns the controller's variant.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// FreeTreeLings returns how many TreeLings remain unassigned.
+func (c *Controller) FreeTreeLings() int { return len(c.unassigned) - c.fifoHead }
+
+// CreateDomain registers a new IV domain.
+func (c *Controller) CreateDomain(id int) (*Domain, error) {
+	if _, ok := c.domains[id]; ok {
+		return nil, fmt.Errorf("core: domain %d already exists", id)
+	}
+	if len(c.domains) >= c.cfg.MaxDomains {
+		return nil, fmt.Errorf("core: domain limit %d reached", c.cfg.MaxDomains)
+	}
+	d := &Domain{
+		id:    id,
+		space: newNFLSpace(c.cfg.NFLEntriesPerBlock),
+		meta:  make(map[int]*tlMeta),
+		bv:    make(map[int]*bvState),
+		nflb:  newNFLB(c.cfg.NFLBEntries),
+	}
+	if c.mode == ModePro {
+		d.hotSpace = newNFLSpace(c.cfg.NFLEntriesPerBlock)
+		d.hot = newHotTracker(c.cfg.HotTrackerEntries, c.cfg.HotCounterBits, c.cfg.HotThreshold, c.cfg.HotClearInterval)
+		d.hotPages = make(map[uint64]SlotID)
+	}
+	c.domains[id] = d
+	return d, nil
+}
+
+// DestroyDomain tears a domain down, returning its TreeLings to the FIFO.
+// The functional forest state of each TreeLing is reset, modelling the
+// hardware re-initialization that prevents cross-domain replay.
+func (c *Controller) DestroyDomain(id int, ops *OpList) error {
+	d := c.domains[id]
+	if d == nil {
+		return fmt.Errorf("core: domain %d does not exist", id)
+	}
+	d.nflb.FlushDomain(c.lay, ops)
+	for _, tl := range d.treelings {
+		if c.forest != nil {
+			c.forest.ResetTreeLing(tl)
+		}
+		c.recycle(tl)
+	}
+	delete(c.domains, id)
+	return nil
+}
+
+// recycle returns a TreeLing to the unassigned FIFO.
+func (c *Controller) recycle(tl int) {
+	if c.fifoHead > 0 {
+		c.fifoHead--
+		c.unassigned[c.fifoHead] = tl
+		return
+	}
+	c.unassigned = append(c.unassigned, tl)
+}
+
+// popTreeLing removes the next unassigned TreeLing from the FIFO.
+func (c *Controller) popTreeLing() (int, bool) {
+	if c.fifoHead >= len(c.unassigned) {
+		return 0, false
+	}
+	tl := c.unassigned[c.fifoHead]
+	c.fifoHead++
+	return tl, true
+}
+
+// fullAvail is the availability mask for a node with all arity slots free.
+func (c *Controller) fullAvail() uint8 {
+	return uint8(1<<uint(c.arity) - 1)
+}
+
+// trackedNodes returns the NFL tracking order for a new TreeLing under the
+// controller's mode: leaf nodes only for Basic (and the BV variants), all
+// nodes top-down for Invert, and top-down minus the hot region for Pro.
+func (c *Controller) trackedNodes() []int32 {
+	switch c.mode {
+	case ModeBasic, ModeBVv1, ModeBVv2:
+		off := c.lay.LevelOffset(1)
+		n := c.lay.LevelNodeCount(1)
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(off + i)
+		}
+		return out
+	case ModeInvert:
+		out := make([]int32, c.lay.NodesPerTreeLing)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	case ModePro:
+		skip := c.hotExcluded()
+		out := make([]int32, 0, c.lay.NodesPerTreeLing)
+		for i := 0; i < c.lay.NodesPerTreeLing; i++ {
+			if !skip[i] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	default:
+		panic("core: unknown mode")
+	}
+}
+
+// hotNodeCount returns the effective τhot node count per TreeLing.
+func (c *Controller) hotNodeCount() int {
+	if c.mode != ModePro || c.lay.TreeLingHeight < 3 {
+		return 0
+	}
+	n := c.cfg.HotRegionLeaves
+	if cnt := c.lay.LevelNodeCount(2); n > cnt/2 {
+		n = cnt / 2
+	}
+	return n
+}
+
+// hotNodes returns the top-down indices of the τhot region: the first
+// hotNodeCount nodes of level 2 (their leaf children are discarded, which
+// is what shortens the hot verification path).
+func (c *Controller) hotNodes() []int {
+	n := c.hotNodeCount()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.lay.NodeIndex(2, i)
+	}
+	return out
+}
+
+// hotExcluded marks the nodes excluded from the regular NFL under Pro:
+// the hot nodes themselves and their (discarded) leaf children.
+func (c *Controller) hotExcluded() []bool {
+	skip := make([]bool, c.lay.NodesPerTreeLing)
+	for _, hn := range c.hotNodes() {
+		skip[hn] = true
+		for s := 0; s < c.arity; s++ {
+			if child, ok := c.lay.Child(hn, s); ok {
+				skip[child] = true
+			}
+		}
+	}
+	return skip
+}
+
+// isHotNode reports whether a top-down node index is in the τhot region.
+func (c *Controller) isHotNode(node int) bool {
+	n := c.hotNodeCount()
+	if n == 0 {
+		return false
+	}
+	off := c.lay.LevelOffset(2)
+	return node >= off && node < off+n
+}
+
+// assignTreeLing pops a TreeLing for domain d, initializes its NFL region
+// in memory (charged as writes of every NFL block) and the per-TreeLing
+// metadata. Under Pro the hot parents are pre-converted.
+func (c *Controller) assignTreeLing(d *Domain, ops *OpList) error {
+	tl, ok := c.popTreeLing()
+	if !ok {
+		c.AllocFailures.Inc()
+		return ErrStarvation
+	}
+	c.Assignments.Inc()
+	d.treelings = append(d.treelings, tl)
+	d.meta[tl] = &tlMeta{
+		parent:   make([]uint8, c.lay.NodesPerTreeLing),
+		occupied: make([]uint8, c.lay.NodesPerTreeLing),
+	}
+	if c.mode == ModeBVv1 || c.mode == ModeBVv2 {
+		d.bv[tl] = newBVState(c.lay)
+		d.bvCur = len(d.treelings) - 1
+		for b := 0; b < d.bv[tl].nBlocks; b++ {
+			ops.Write(c.lay.NFLBlockAddr(tl, b))
+		}
+		return nil
+	}
+	r := d.space.addRegion(tl, c.trackedNodes(), c.fullAvail(), 0)
+	for b := 0; b < r.nBlocks; b++ {
+		ops.Write(c.lay.NFLBlockAddr(tl, b))
+	}
+	if c.mode == ModePro {
+		hot := c.hotNodes()
+		tracked := make([]int32, len(hot))
+		for i, hn := range hot {
+			tracked[i] = int32(hn)
+		}
+		// Hot NFL blocks live after the regular NFL blocks in the
+		// TreeLing's NFL address range.
+		hr := d.hotSpace.addRegion(tl, tracked, c.fullAvail(), r.nBlocks)
+		for b := 0; b < hr.nBlocks; b++ {
+			ops.Write(c.lay.NFLBlockAddr(tl, r.nBlocks+b))
+		}
+		// Pre-convert the parent slots covering the hot nodes so Invert
+		// allocation never hands them out as page slots.
+		m := d.meta[tl]
+		for _, hn := range hot {
+			p, slot, okp := c.lay.Parent(hn)
+			if !okp {
+				continue
+			}
+			m.parent[p] |= 1 << uint(slot)
+			d.space.clearSlotAnywhere(packTag(tl, p), slot)
+			c.Conversions.Inc()
+		}
+	}
+	return nil
+}
+
+// AllocPage assigns a TreeLing slot for a newly mapped page of the domain,
+// extending the domain with a fresh TreeLing when the NFL frontier is
+// exhausted. The returned SlotID must be stored in the page's extended PTE
+// (the LMM) by the caller.
+func (c *Controller) AllocPage(domainID int, pfn uint64, ops *OpList) (SlotID, error) {
+	d := c.domains[domainID]
+	if d == nil {
+		return InvalidSlot, fmt.Errorf("core: unknown domain %d", domainID)
+	}
+	if c.mode == ModeBVv1 || c.mode == ModeBVv2 {
+		return c.bvAlloc(d, ops)
+	}
+	slot, err := c.allocSlot(d, ops)
+	if err != nil {
+		return InvalidSlot, err
+	}
+	d.mapped++
+	c.markOccupied(d, slot)
+	return slot, nil
+}
+
+// allocSlot implements the paper's allocation algorithm: serve from the
+// frontier block, advancing the head when the block is fully mapped, and
+// assigning a fresh TreeLing when the whole space is exhausted. Under
+// Invert/Pro the claimed node's parent slot is converted first.
+func (c *Controller) allocSlot(d *Domain, ops *OpList) (SlotID, error) {
+	invert := c.mode == ModeInvert || c.mode == ModePro
+	for {
+		if d.space.exhausted() {
+			if err := c.assignTreeLing(d, ops); err != nil {
+				return InvalidSlot, err
+			}
+		}
+		r, b := d.space.frontier()
+		d.nflb.Access(c.lay, r.tl, r.blockBase+b, false, ops)
+		for {
+			tag, ok := d.space.peek(r, b)
+			if !ok {
+				break // block fully mapped
+			}
+			tl, node := unpackTag(tag)
+			if invert {
+				c.ensureParentConverted(d, tl, node, ops)
+			}
+			slot, ok := d.space.take(r, b, tag)
+			if !ok {
+				// Conversion consumed the entry's last free slot; retry
+				// with the next entry in this block.
+				continue
+			}
+			d.nflb.Access(c.lay, r.tl, r.blockBase+b, true, ops)
+			return MakeSlot(tl, node, slot), nil
+		}
+		d.space.advance()
+	}
+}
+
+// markOccupied records a page mapping in the per-TreeLing metadata.
+func (c *Controller) markOccupied(d *Domain, slot SlotID) {
+	m := d.meta[slot.TreeLing()]
+	m.occupied[slot.Node()] |= 1 << uint(slot.Slot())
+}
+
+// clearOccupied removes a page mapping record.
+func (c *Controller) clearOccupied(d *Domain, slot SlotID) {
+	m := d.meta[slot.TreeLing()]
+	m.occupied[slot.Node()] &^= 1 << uint(slot.Slot())
+}
+
+// FreePage releases a page's slot on deallocation using the NFL in-place
+// tracking algorithm of Figure 8. Slots that cannot be re-tracked are
+// leaked and counted (Figure 17b's "untracked TreeLing slots"). The slot
+// must be the page's *effective* slot (after Resolve under Invert).
+func (c *Controller) FreePage(domainID int, pfn uint64, slot SlotID, ops *OpList) error {
+	d := c.domains[domainID]
+	if d == nil {
+		return fmt.Errorf("core: unknown domain %d", domainID)
+	}
+	if slot == InvalidSlot {
+		return errors.New("core: freeing invalid slot")
+	}
+	d.mapped--
+	c.clearOccupied(d, slot)
+	if c.forest != nil {
+		c.forest.SetSlot(slot.TreeLing(), slot.Node(), slot.Slot(), 0)
+	}
+	if c.mode == ModeBVv1 || c.mode == ModeBVv2 {
+		c.bvFree(d, slot, ops)
+		return nil
+	}
+	if c.mode == ModePro && c.isHotNode(slot.Node()) {
+		// The tracker is region-keyed; the region entry stays (other
+		// pages of the region may still be hot).
+		delete(d.hotPages, pfn)
+		c.releaseHot(d, slot, ops)
+		return nil
+	}
+	c.releaseRegular(d, slot, ops)
+	return nil
+}
+
+// releaseRegular returns a regular-region slot to the domain's NFL at the
+// frontier, per Figure 8d–8f: tag match or entry repurposing at the
+// frontier block, else rewind the head one block (possibly into the
+// previous TreeLing's NFL) and repurpose there.
+func (c *Controller) releaseRegular(d *Domain, slot SlotID, ops *OpList) {
+	tag := packTag(slot.TreeLing(), slot.Node())
+	ri, b := d.space.clampedFrontier()
+	r := d.space.regions[ri]
+	d.nflb.Access(c.lay, r.tl, r.blockBase+b, true, ops)
+	if d.space.release(r, b, tag, slot.Slot()) {
+		// If the space had run past the end, pull the frontier back so
+		// allocation finds the freed slot.
+		if d.space.exhausted() {
+			d.space.fRegion, d.space.fBlock = ri, b
+		}
+		return
+	}
+	// One-step head rewind (Figure 8f); the block before the frontier is
+	// fully mapped by the algorithm's invariant, so repurposing succeeds
+	// unless we are at the very first block of the first TreeLing.
+	if d.space.exhausted() {
+		d.space.fRegion, d.space.fBlock = ri, b
+	}
+	if d.space.rewind() {
+		r2, b2 := d.space.frontier()
+		d.nflb.Access(c.lay, r2.tl, r2.blockBase+b2, true, ops)
+		if d.space.release(r2, b2, tag, slot.Slot()) {
+			return
+		}
+	}
+	d.meta[slot.TreeLing()].leaked++
+	c.Untracked.Inc()
+}
+
+// releaseHot returns a τhot slot to its TreeLing's hot NFL.
+func (c *Controller) releaseHot(d *Domain, slot SlotID, ops *OpList) {
+	tag := packTag(slot.TreeLing(), slot.Node())
+	for _, hr := range d.hotSpace.regions {
+		if hr.tl != slot.TreeLing() {
+			continue
+		}
+		for b := 0; b < hr.nBlocks; b++ {
+			d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, true, ops)
+			if d.hotSpace.release(hr, b, tag, slot.Slot()) {
+				return
+			}
+		}
+	}
+	d.meta[slot.TreeLing()].leaked++
+	c.Untracked.Inc()
+}
+
+// MappedPages returns the number of pages currently mapped in a domain.
+func (c *Controller) MappedPages(domainID int) uint64 {
+	if d := c.domains[domainID]; d != nil {
+		return d.mapped
+	}
+	return 0
+}
+
+// TreeLingsOf returns the TreeLings assigned to a domain (in order).
+func (c *Controller) TreeLingsOf(domainID int) []int {
+	if d := c.domains[domainID]; d != nil {
+		return append([]int(nil), d.treelings...)
+	}
+	return nil
+}
+
+// NFLBOf returns a domain's NFL buffer (for statistics).
+func (c *Controller) NFLBOf(domainID int) *NFLB {
+	if d := c.domains[domainID]; d != nil {
+		return d.nflb
+	}
+	return nil
+}
+
+// Utilization returns, across all currently assigned TreeLings of all
+// domains, the fraction of slots still usable (1 − leaked/total tracked
+// slots) and the total number of leaked (untracked) slots, matching the
+// Figure 17b metrics.
+func (c *Controller) Utilization() (util float64, untracked int) {
+	totalSlots := 0
+	leaked := 0
+	for _, d := range c.domains {
+		for _, tl := range d.treelings {
+			leaked += d.meta[tl].leaked
+			if bv := d.bv[tl]; bv != nil {
+				totalSlots += bv.slots
+			}
+		}
+		if d.space != nil {
+			totalSlots += d.space.trackedSlotCapacity(c.arity)
+		}
+		if d.hotSpace != nil {
+			totalSlots += d.hotSpace.trackedSlotCapacity(c.arity)
+		}
+	}
+	if totalSlots == 0 {
+		return 1, leaked
+	}
+	return 1 - float64(leaked)/float64(totalSlots), leaked
+}
+
+// PathNodes appends the top-down node indices on the verification path of
+// slot — the slot's node, then its ancestors up to and including the
+// TreeLing root — to buf and returns it. The caller converts to addresses
+// via the layout (all TreeLing nodes are statically addressed; no
+// indirection is needed, per Section VI-B).
+func (c *Controller) PathNodes(slot SlotID, buf []int) []int {
+	node := slot.Node()
+	buf = append(buf, node)
+	for {
+		p, _, ok := c.lay.Parent(node)
+		if !ok {
+			return buf
+		}
+		buf = append(buf, p)
+		node = p
+	}
+}

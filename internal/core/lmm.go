@@ -1,0 +1,42 @@
+package core
+
+import (
+	"ivleague/internal/cache"
+	"ivleague/internal/config"
+)
+
+// LMMCache is the on-chip Leaf Mapping Metadata cache in the memory
+// controller (Figure 5): it caches the leaf-ID field of extended PTEs so
+// integrity verification can locate a page's TreeLing slot without a
+// memory indirection. Entries are keyed by (domain, VPN) and are kept
+// consistent with the TLB: a TLB eviction must invalidate the entry.
+type LMMCache struct {
+	c *cache.Cache
+}
+
+// NewLMMCache builds the cache from its configuration.
+func NewLMMCache(cfg config.CacheConfig, seed uint64) *LMMCache {
+	return &LMMCache{c: cache.New(cfg, seed, 0)}
+}
+
+func lmmAddr(domain int, vpn uint64) uint64 {
+	return (vpn | uint64(domain)<<36) << config.BlockShift
+}
+
+// Access looks the mapping up, filling on a miss (the caller charges the
+// PTE memory read on a miss). write marks the entry dirty (LMM update).
+func (l *LMMCache) Access(domain int, vpn uint64, write bool) (hit bool) {
+	return l.c.Access(lmmAddr(domain, vpn), write).Hit
+}
+
+// Invalidate drops the entry for (domain, vpn); called on TLB eviction to
+// keep the structures consistent (Section VI-C2).
+func (l *LMMCache) Invalidate(domain int, vpn uint64) {
+	l.c.Invalidate(lmmAddr(domain, vpn))
+}
+
+// HitRate returns the cache hit rate so far.
+func (l *LMMCache) HitRate() float64 { return l.c.HitRate() }
+
+// Stats exposes the underlying cache for counter access.
+func (l *LMMCache) Stats() *cache.Cache { return l.c }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"ivleague/internal/layout"
+	"ivleague/internal/stats"
+)
+
+// nflEntry is one in-memory NFL entry: the tracked TreeLing node (a full
+// node-block address tag, here packed as tl<<24|node) and its availability
+// vector (bit i set = slot i attachable). tag < 0 marks an unused entry
+// position (padding in a region's last block).
+type nflEntry struct {
+	tag   int64
+	avail uint8
+}
+
+func packTag(tl, node int) int64 { return int64(tl)<<24 | int64(node) }
+
+func unpackTag(tag int64) (tl, node int) {
+	return int(tag >> 24), int(tag & (1<<24 - 1))
+}
+
+// nflRegion is the in-memory NFL storage of one assigned TreeLing: one
+// entry per tracked node, grouped into 64-byte blocks.
+type nflRegion struct {
+	tl        int
+	entries   []nflEntry
+	nBlocks   int
+	blockBase int // offset within the TreeLing's NFL address range
+}
+
+// nflSpace is a domain's Node Free-List: the concatenation of the NFL
+// regions of its assigned TreeLings, with a single allocation frontier
+// (the head register). The paper's invariant — every block before the
+// frontier is fully mapped — makes allocation O(1); deallocations re-track
+// freed slots at the frontier (tag match, entry repurposing, or a one-step
+// head rewind), so freed capacity is reused immediately.
+type nflSpace struct {
+	epb     int
+	regions []*nflRegion
+	fRegion int // frontier region index
+	fBlock  int // frontier block within that region
+}
+
+func newNFLSpace(epb int) *nflSpace { return &nflSpace{epb: epb} }
+
+// addRegion appends the NFL region of a newly assigned TreeLing tracking
+// the given node indices, each with the initial availability initAvail.
+func (s *nflSpace) addRegion(tl int, tracked []int32, initAvail uint8, blockBase int) *nflRegion {
+	nBlocks := (len(tracked) + s.epb - 1) / s.epb
+	r := &nflRegion{
+		tl:        tl,
+		entries:   make([]nflEntry, nBlocks*s.epb),
+		nBlocks:   nBlocks,
+		blockBase: blockBase,
+	}
+	for i := range r.entries {
+		if i < len(tracked) {
+			r.entries[i] = nflEntry{tag: packTag(tl, int(tracked[i])), avail: initAvail}
+		} else {
+			r.entries[i] = nflEntry{tag: -1}
+		}
+	}
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// exhausted reports whether the frontier has run past the last block.
+func (s *nflSpace) exhausted() bool {
+	return s.fRegion >= len(s.regions)
+}
+
+// frontier returns the region and block the head register points at.
+func (s *nflSpace) frontier() (*nflRegion, int) {
+	return s.regions[s.fRegion], s.fBlock
+}
+
+// advance moves the frontier to the next block (crossing into the next
+// region when the current one ends).
+func (s *nflSpace) advance() {
+	s.fBlock++
+	if s.fBlock >= s.regions[s.fRegion].nBlocks {
+		s.fRegion++
+		s.fBlock = 0
+	}
+}
+
+// rewind moves the frontier one block back (crossing into the previous
+// TreeLing's NFL when at a region's first block, per Section VI-C1). It
+// reports whether a previous block exists.
+func (s *nflSpace) rewind() bool {
+	if s.fBlock > 0 {
+		s.fBlock--
+		return true
+	}
+	if s.fRegion > 0 {
+		s.fRegion--
+		if s.fRegion < len(s.regions) {
+			s.fBlock = s.regions[s.fRegion].nBlocks - 1
+		}
+		return true
+	}
+	return false
+}
+
+// clampedFrontier returns the frontier clamped to the last existing block
+// (for deallocations arriving after exhaustion).
+func (s *nflSpace) clampedFrontier() (region, block int) {
+	if s.fRegion < len(s.regions) {
+		return s.fRegion, s.fBlock
+	}
+	last := len(s.regions) - 1
+	return last, s.regions[last].nBlocks - 1
+}
+
+// block returns the entry slice of block b of region r.
+func (s *nflSpace) block(r *nflRegion, b int) []nflEntry {
+	return r.entries[b*s.epb : (b+1)*s.epb]
+}
+
+// peek returns the tag of the first entry with an attachable slot in the
+// given block, without claiming it.
+func (s *nflSpace) peek(r *nflRegion, b int) (tag int64, ok bool) {
+	for _, e := range s.block(r, b) {
+		if e.avail != 0 {
+			return e.tag, true
+		}
+	}
+	return 0, false
+}
+
+// take claims the lowest available slot of the entry tagged tag in the
+// given block, returning ok=false if none is left.
+func (s *nflSpace) take(r *nflRegion, b int, tag int64) (slot int, ok bool) {
+	es := s.block(r, b)
+	for i := range es {
+		if es[i].tag == tag && es[i].avail != 0 {
+			bit := 0
+			for es[i].avail&(1<<uint(bit)) == 0 {
+				bit++
+			}
+			es[i].avail &^= 1 << uint(bit)
+			return bit, true
+		}
+	}
+	return 0, false
+}
+
+// release records slot of tag as attachable in the given block using the
+// in-place update rules of Figure 8d–e: tag match first, then repurposing
+// a fully-assigned (or padding) entry. Reports whether it succeeded.
+func (s *nflSpace) release(r *nflRegion, b int, tag int64, slot int) bool {
+	es := s.block(r, b)
+	for i := range es {
+		if es[i].tag == tag {
+			es[i].avail |= 1 << uint(slot)
+			return true
+		}
+	}
+	for i := range es {
+		if es[i].avail == 0 {
+			es[i] = nflEntry{tag: tag, avail: 1 << uint(slot)}
+			return true
+		}
+	}
+	return false
+}
+
+// clearSlotAnywhere removes a specific (tag, slot) from availability
+// wherever it is tracked (used by Invert conversion and Pro reservation,
+// which consume designated slots). Reports whether it was found.
+func (s *nflSpace) clearSlotAnywhere(tag int64, slot int) bool {
+	for _, r := range s.regions {
+		for i := range r.entries {
+			if r.entries[i].tag == tag && r.entries[i].avail&(1<<uint(slot)) != 0 {
+				r.entries[i].avail &^= 1 << uint(slot)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// freeSlots returns the number of attachable slots tracked in the space.
+func (s *nflSpace) freeSlots() int {
+	n := 0
+	for _, r := range s.regions {
+		for _, e := range r.entries {
+			a := e.avail
+			for a != 0 {
+				a &= a - 1
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// trackedSlotCapacity returns arity × the number of real (non-padding)
+// entries, the denominator of the utilization metric.
+func (s *nflSpace) trackedSlotCapacity(arity int) int {
+	n := 0
+	for _, r := range s.regions {
+		for _, e := range r.entries {
+			if e.tag >= 0 {
+				n += arity
+			}
+		}
+	}
+	return n
+}
+
+// NFLB is the per-domain on-chip NFL buffer: a tiny CAM caching the most
+// recently used NFL blocks. Misses cost an NFL memory read; dirty
+// evictions cost a write-back.
+type NFLB struct {
+	entries []nflbEntry
+	tick    uint64
+
+	Hits   stats.Counter
+	Misses stats.Counter
+}
+
+type nflbEntry struct {
+	tl      int
+	block   int
+	lastUse uint64
+	valid   bool
+	dirty   bool
+}
+
+// newNFLB creates a buffer with n entries.
+func newNFLB(n int) *NFLB {
+	return &NFLB{entries: make([]nflbEntry, n)}
+}
+
+// Access looks up NFL block (tl, block), filling on a miss; the miss read
+// and any dirty-eviction write-back are appended to ops using the layout's
+// NFL block addresses. write marks the block dirty.
+func (b *NFLB) Access(lay *layout.Layout, tl, block int, write bool, ops *OpList) (hit bool) {
+	b.tick++
+	victim := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.tl == tl && e.block == block {
+			e.lastUse = b.tick
+			if write {
+				e.dirty = true
+			}
+			b.Hits.Inc()
+			return true
+		}
+		if !b.entries[victim].valid {
+			continue
+		}
+		if !e.valid || e.lastUse < b.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	b.Misses.Inc()
+	v := &b.entries[victim]
+	if v.valid && v.dirty {
+		ops.Write(lay.NFLBlockAddr(v.tl, v.block))
+	}
+	ops.Read(lay.NFLBlockAddr(tl, block))
+	*v = nflbEntry{tl: tl, block: block, lastUse: b.tick, valid: true, dirty: write}
+	return false
+}
+
+// HitRate returns the buffer hit rate so far.
+func (b *NFLB) HitRate() float64 {
+	return stats.Ratio(b.Hits.Value(), b.Hits.Value()+b.Misses.Value())
+}
+
+// FlushDomain writes back and drops every entry (domain teardown).
+func (b *NFLB) FlushDomain(lay *layout.Layout, ops *OpList) {
+	for i := range b.entries {
+		if b.entries[i].valid && b.entries[i].dirty {
+			ops.Write(lay.NFLBlockAddr(b.entries[i].tl, b.entries[i].block))
+		}
+		b.entries[i] = nflbEntry{}
+	}
+}

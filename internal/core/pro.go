@@ -1,0 +1,252 @@
+package core
+
+// hotTracker is the per-domain n-entry access-frequency table integrated
+// into the memory controller (Figure 14a). Entries are scanned linearly
+// for replacement, which is deterministic and matches the "replace the
+// entry with the smallest counter" policy.
+type hotTracker struct {
+	entries  []hotEntry
+	index    map[uint64]int // pfn → entry index
+	max      uint32         // counter saturation value
+	thresh   uint32
+	interval uint64
+	accesses uint64
+}
+
+type hotEntry struct {
+	pfn   uint64
+	count uint32
+	valid bool
+}
+
+func newHotTracker(n, counterBits int, thresh uint32, interval uint64) *hotTracker {
+	if n <= 0 {
+		panic("core: hot tracker needs at least one entry")
+	}
+	return &hotTracker{
+		entries:  make([]hotEntry, n),
+		index:    make(map[uint64]int, n),
+		max:      1<<uint(counterBits) - 1,
+		thresh:   thresh,
+		interval: interval,
+	}
+}
+
+// observe records an access to pfn. It returns:
+//   - hot: the page's counter just reached the threshold;
+//   - victim: a page evicted from the tracker to make room (or ^0).
+func (t *hotTracker) observe(pfn uint64) (hot bool, victim uint64) {
+	victim = ^uint64(0)
+	t.accesses++
+	if t.interval > 0 && t.accesses%t.interval == 0 {
+		// Periodic counter clear (Section VII-B): hot pages must keep
+		// earning their residency.
+		for i := range t.entries {
+			t.entries[i].count = 0
+		}
+	}
+	if i, ok := t.index[pfn]; ok {
+		e := &t.entries[i]
+		if e.count < t.max {
+			e.count++
+		}
+		return e.count == t.thresh, victim
+	}
+	// Insert: first invalid entry, else Misra-Gries-style replacement —
+	// decrement the smallest counter and only take its entry once it
+	// reaches zero, so recurring warm pages survive one-shot traffic.
+	// (A "more advanced hotpage detection mechanism" per Section VII-B.)
+	slot := -1
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			slot = i
+			break
+		}
+		if slot < 0 || t.entries[i].count < t.entries[slot].count {
+			slot = i
+		}
+	}
+	if t.entries[slot].valid {
+		if t.entries[slot].count > 1 {
+			t.entries[slot].count--
+			return false, victim // newcomer not admitted this time
+		}
+		victim = t.entries[slot].pfn
+		delete(t.index, victim)
+	}
+	t.entries[slot] = hotEntry{pfn: pfn, count: 1, valid: true}
+	t.index[pfn] = slot
+	return t.thresh == 1, victim
+}
+
+// remove drops pfn from the tracker (page freed).
+func (t *hotTracker) remove(pfn uint64) {
+	if i, ok := t.index[pfn]; ok {
+		t.entries[i] = hotEntry{}
+		delete(t.index, pfn)
+	}
+}
+
+// contains reports whether pfn is currently tracked.
+func (t *hotTracker) contains(pfn uint64) bool {
+	_, ok := t.index[pfn]
+	return ok
+}
+
+// OnAccess feeds the IvLeague-Pro hotpage machinery with one page access.
+// When the page becomes hot it is migrated into the τhot region; when a
+// tracked page is evicted while resident in τhot it is migrated back to
+// the regular region. The page's (possibly new) verification slot is
+// returned; migrated reports whether the caller must refresh the LMM/PTE.
+// For non-Pro modes this is a no-op.
+func (c *Controller) OnAccess(domainID int, pfn uint64, slot SlotID, ops *OpList) (SlotID, bool) {
+	if c.mode != ModePro {
+		return slot, false
+	}
+	d := c.domains[domainID]
+	if d == nil {
+		return slot, false
+	}
+	// Region-granular tracking: the tracker counts accesses per region;
+	// once a region is hot, each of its pages migrates on its next access.
+	region := pfn >> uint(c.cfg.HotRegionPagesLog2)
+	hot, _ := d.hot.observe(region)
+	d.sinceMig++
+	// The migration engine is rate-limited (one relocation per several
+	// memory-controller accesses) so τhot residency favours genuinely
+	// recurring regions instead of thrashing on one-shot traffic.
+	if (hot || d.hot.atThreshold(region)) && d.sinceMig >= 8 {
+		if _, already := d.hotPages[pfn]; !already && !c.isHotNode(slot.Node()) {
+			if ns, ok := c.migrateToHot(d, pfn, slot, ops); ok {
+				d.sinceMig = 0
+				return ns, true
+			}
+		}
+	}
+	return slot, false
+}
+
+// atThreshold reports whether key's counter has reached the hot threshold.
+func (t *hotTracker) atThreshold(key uint64) bool {
+	if i, ok := t.index[key]; ok {
+		return t.entries[i].count >= t.thresh
+	}
+	return false
+}
+
+// reclaimHot migrates the oldest τhot resident that is no longer tracked
+// back to the regular region, freeing a hot slot. Reclamation is lazy —
+// pages stay in τhot after leaving the tracker until the region fills —
+// which keeps τhot near capacity and maximizes the hotpage acceleration.
+func (c *Controller) reclaimHot(d *Domain, ops *OpList) bool {
+	requeued := 0
+	for len(d.hotOrder) > 0 && requeued <= len(d.hotOrder) {
+		pfn := d.hotOrder[0]
+		d.hotOrder = d.hotOrder[1:]
+		slot, ok := d.hotPages[pfn]
+		if !ok {
+			continue // freed or already reclaimed
+		}
+		if d.hot.atThreshold(pfn >> uint(c.cfg.HotRegionPagesLog2)) {
+			// Its region is still actively hot: keep it resident.
+			d.hotOrder = append(d.hotOrder, pfn)
+			requeued++
+			continue
+		}
+		c.migrateBack(d, pfn, slot, ops)
+		return true
+	}
+	return false
+}
+
+// migrateToHot moves a page's verification hash into the τhot region:
+// find a reserved slot via the hot NFL (trying the page's own TreeLing
+// first), copy the hash (one node read + one node write), release the old
+// slot through the regular NFL path, and update the LMM.
+func (c *Controller) migrateToHot(d *Domain, pfn uint64, old SlotID, ops *OpList) (SlotID, bool) {
+	order := make([]*nflRegion, 0, len(d.hotSpace.regions))
+	for _, hr := range d.hotSpace.regions {
+		if hr.tl == old.TreeLing() {
+			order = append([]*nflRegion{hr}, order...)
+		} else {
+			order = append(order, hr)
+		}
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		for _, hr := range order {
+			for b := 0; b < hr.nBlocks; b++ {
+				tag, ok := d.hotSpace.peek(hr, b)
+				if !ok {
+					continue
+				}
+				d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, false, ops)
+				sl, ok := d.hotSpace.take(hr, b, tag)
+				if !ok {
+					continue
+				}
+				d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, true, ops)
+				_, node := unpackTag(tag)
+				ns := MakeSlot(hr.tl, node, sl)
+				c.moveHash(d, old, ns, ops)
+				c.clearOccupied(d, old)
+				c.releaseRegular(d, old, ops) // the regular slot becomes free
+				c.markOccupied(d, ns)
+				d.hotPages[pfn] = ns
+				d.hotOrder = append(d.hotOrder, pfn)
+				c.Migrations.Inc()
+				if c.leaf != nil {
+					c.leaf.UpdateLeaf(d.id, pfn, ns)
+				}
+				return ns, true
+			}
+		}
+		// τhot full: lazily reclaim an inactive resident and retry.
+		if !c.reclaimHot(d, ops) {
+			break
+		}
+	}
+	return InvalidSlot, false // τhot saturated with actively hot pages
+}
+
+// migrateBack moves an inactive hotpage out of τhot into a regular slot.
+func (c *Controller) migrateBack(d *Domain, pfn uint64, hotSlot SlotID, ops *OpList) {
+	delete(d.hotPages, pfn)
+	ns, err := c.allocSlot(d, ops)
+	if err != nil {
+		// No regular slot available: leave the page in τhot (it keeps
+		// verifying correctly; τhot pressure persists).
+		d.hotPages[pfn] = hotSlot
+		return
+	}
+	c.moveHash(d, hotSlot, ns, ops)
+	c.markOccupied(d, ns)
+	c.clearOccupied(d, hotSlot)
+	c.releaseHot(d, hotSlot, ops)
+	c.MigrationsBack.Inc()
+	if c.leaf != nil {
+		c.leaf.UpdateLeaf(d.id, pfn, ns)
+	}
+}
+
+// moveHash copies the verification hash from slot a to slot b (one node
+// read, one node write) and clears a in the functional forest.
+func (c *Controller) moveHash(d *Domain, a, b SlotID, ops *OpList) {
+	ops.Read(c.lay.TreeLingNodeAddr(a.TreeLing(), a.Node()))
+	ops.WriteNoFetch(c.lay.TreeLingNodeAddr(b.TreeLing(), b.Node()))
+	if c.forest != nil {
+		h := c.forest.Slot(a.TreeLing(), a.Node(), a.Slot())
+		c.forest.SetSlot(b.TreeLing(), b.Node(), b.Slot(), h)
+		c.forest.SetSlot(a.TreeLing(), a.Node(), a.Slot(), 0)
+	}
+}
+
+// HotResident returns how many pages of the domain currently live in τhot.
+func (c *Controller) HotResident(domainID int) int {
+	if d := c.domains[domainID]; d != nil {
+		return len(d.hotPages)
+	}
+	return 0
+}
+
+// IsHotSlot reports whether slot lies in the τhot region.
+func (c *Controller) IsHotSlot(slot SlotID) bool { return c.isHotNode(slot.Node()) }

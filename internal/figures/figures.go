@@ -1,0 +1,539 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section X) from the simulator, the analytical models and the
+// attack module. It is the engine behind cmd/ivbench and the root-level
+// benchmark harness; see DESIGN.md for the experiment index.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ivleague/internal/analysis"
+	"ivleague/internal/attack"
+	"ivleague/internal/config"
+	"ivleague/internal/hwcost"
+	"ivleague/internal/sim"
+	"ivleague/internal/stats"
+	"ivleague/internal/workload"
+)
+
+// Options selects the run scale and scope of the evaluation.
+type Options struct {
+	Cfg     config.Config
+	Schemes []config.Scheme
+	Mixes   []workload.Mix
+	// Trials for the Figure 22 Monte-Carlo.
+	Trials int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// PerfSchemes are the four schemes of Figures 15/16/18/19.
+func PerfSchemes() []config.Scheme {
+	return []config.Scheme{
+		config.SchemeBaseline,
+		config.SchemeIvLeagueBasic,
+		config.SchemeIvLeagueInvert,
+		config.SchemeIvLeaguePro,
+	}
+}
+
+// Quick returns options sized for a laptop-scale regeneration pass
+// (minutes); Full multiplies the run lengths for tighter statistics.
+func Quick() Options {
+	cfg := config.Default()
+	cfg.Sim.WarmupInstr = 30_000
+	cfg.Sim.MeasureIntr = 120_000
+	return Options{Cfg: cfg, Schemes: PerfSchemes(), Mixes: workload.Mixes(), Trials: 300}
+}
+
+// Full returns the long-run options.
+func Full() Options {
+	cfg := config.Default()
+	cfg.Sim.WarmupInstr = 80_000
+	cfg.Sim.MeasureIntr = 400_000
+	return Options{Cfg: cfg, Schemes: PerfSchemes(), Mixes: workload.Mixes(), Trials: 1000}
+}
+
+func (o *Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// RunSet holds the per-(mix, scheme) simulation results plus the per-
+// benchmark alone-run IPCs used as the weighted-IPC denominator.
+type RunSet struct {
+	Options *Options
+	Results map[string]map[config.Scheme]sim.Result // mix → scheme → result
+	Alone   map[string]float64                      // benchmark → alone IPC
+}
+
+// Run executes every (mix, scheme) simulation once; figures 15–19 are
+// derived from this set without re-simulation.
+func Run(o Options) *RunSet {
+	rs := &RunSet{
+		Options: &o,
+		Results: make(map[string]map[config.Scheme]sim.Result),
+		Alone:   make(map[string]float64),
+	}
+	for name := range workload.Benchmarks() {
+		p, _ := workload.ByName(name)
+		ipc, err := sim.RunAlone(&o.Cfg, config.SchemeBaseline, p)
+		if err != nil {
+			panic(fmt.Sprintf("figures: alone run %s: %v", name, err))
+		}
+		rs.Alone[name] = ipc
+		o.progress("alone %-14s IPC %.4f", name, ipc)
+	}
+	for _, mix := range o.Mixes {
+		rs.Results[mix.Name] = make(map[config.Scheme]sim.Result)
+		for _, scheme := range o.Schemes {
+			res := sim.RunMix(&o.Cfg, scheme, mix)
+			rs.Results[mix.Name][scheme] = res
+			o.progress("mix %-4s %-18s failed=%v", mix.Name, scheme, res.Failed)
+		}
+	}
+	return rs
+}
+
+// weightedIPC computes Σ IPC_i/IPC_alone_i for one run.
+func (rs *RunSet) weightedIPC(res sim.Result) float64 {
+	if res.Failed {
+		return 0
+	}
+	sum := 0.0
+	for i, bench := range res.Bench {
+		alone := rs.Alone[bench]
+		if alone <= 0 {
+			panic("figures: missing alone IPC for " + bench)
+		}
+		sum += res.IPC[i] / alone
+	}
+	return sum
+}
+
+// Fig15 renders the weighted-IPC comparison normalized to Baseline,
+// including per-class geometric means.
+func (rs *RunSet) Fig15() *stats.Table {
+	t := &stats.Table{Header: []string{"mix"}}
+	for _, s := range rs.Options.Schemes {
+		t.Header = append(t.Header, s.String())
+	}
+	perClass := map[workload.Class]map[config.Scheme][]float64{}
+	addGmean := func(class workload.Class, label string) {
+		cells := []string{label}
+		for _, s := range rs.Options.Schemes {
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Gmean(perClass[class][s])))
+		}
+		t.AddRow(cells...)
+	}
+	lastClass := workload.Small
+	for i, mix := range rs.Options.Mixes {
+		if i > 0 && mix.Class != lastClass {
+			addGmean(lastClass, "gmean"+lastClass.String())
+		}
+		lastClass = mix.Class
+		base := rs.weightedIPC(rs.Results[mix.Name][config.SchemeBaseline])
+		cells := []string{mix.Name}
+		for _, s := range rs.Options.Schemes {
+			w := rs.weightedIPC(rs.Results[mix.Name][s])
+			norm := 0.0
+			if base > 0 {
+				norm = w / base
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", norm))
+			if perClass[mix.Class] == nil {
+				perClass[mix.Class] = map[config.Scheme][]float64{}
+			}
+			if norm > 0 {
+				perClass[mix.Class][s] = append(perClass[mix.Class][s], norm)
+			}
+		}
+		t.AddRow(cells...)
+	}
+	addGmean(lastClass, "gmean"+lastClass.String())
+	return t
+}
+
+// Fig16 renders the average verification path length per benchmark.
+func (rs *RunSet) Fig16() *stats.Table {
+	t := &stats.Table{Header: []string{"benchmark"}}
+	for _, s := range rs.Options.Schemes {
+		t.Header = append(t.Header, s.String())
+	}
+	// Average across all mixes containing the benchmark, per scheme.
+	acc := map[string]map[config.Scheme]*stats.Mean{}
+	order := []string{}
+	for _, mix := range rs.Options.Mixes {
+		for _, p := range mix.Procs {
+			if acc[p.Name] == nil {
+				acc[p.Name] = map[config.Scheme]*stats.Mean{}
+				order = append(order, p.Name)
+			}
+			for _, s := range rs.Options.Schemes {
+				res := rs.Results[mix.Name][s]
+				if res.Failed {
+					continue
+				}
+				if v, ok := res.PathLenMean[p.Name]; ok {
+					if acc[p.Name][s] == nil {
+						acc[p.Name][s] = &stats.Mean{}
+					}
+					acc[p.Name][s].Observe(v)
+				}
+			}
+		}
+	}
+	for _, name := range order {
+		cells := []string{name}
+		for _, s := range rs.Options.Schemes {
+			if m := acc[name][s]; m != nil {
+				cells = append(cells, fmt.Sprintf("%.3f", m.Value()))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig17a runs the NFL-vs-bit-vector ablation: the Pro scheme with its NFL
+// against the BV-v1/BV-v2 allocators, reported as class-average weighted
+// IPC normalized to Baseline ("x" marks failed runs, as in the paper).
+// TreeLings are provisioned proportionally to the (scaled) footprints so
+// that leaked slots translate into starvation as they do at full scale;
+// BV-v1 runs that leak without yet starving are marked "→starves".
+func Fig17a(o Options) *stats.Table {
+	schemes := []config.Scheme{
+		config.SchemeBaseline, config.SchemeIvLeaguePro,
+		config.SchemeBVv1, config.SchemeBVv2,
+	}
+	t := &stats.Table{Header: []string{"class", "NFL(Pro)", "BV-v1", "BV-v2"}}
+	perClass := map[workload.Class]map[config.Scheme][]float64{}
+	fails := map[workload.Class]map[config.Scheme]bool{}
+	leaks := map[workload.Class]map[config.Scheme]int{}
+	rs := &RunSet{Options: &o, Alone: map[string]float64{}}
+	for name := range workload.Benchmarks() {
+		p, _ := workload.ByName(name)
+		ipc, err := sim.RunAlone(&o.Cfg, config.SchemeBaseline, p)
+		if err != nil {
+			panic(err)
+		}
+		rs.Alone[name] = ipc
+	}
+	for _, mix := range o.Mixes {
+		cfg := o.Cfg
+		// Tight provisioning: the scaled footprint plus one spare
+		// TreeLing per domain.
+		pages := uint64(float64(uint64(mix.FootprintMB())<<20>>config.PageShift) * cfg.Sim.FootprintScale)
+		need := int(pages/cfg.TreeLingPages()) + len(mix.Procs) + 4
+		if uint64(need)*cfg.TreeLingBytes() < cfg.DRAM.SizeBytes {
+			cfg.DRAM.SizeBytes = uint64(need) * cfg.TreeLingBytes()
+		}
+		cfg.IvLeague.TreeLingCount = need
+		var base float64
+		for _, s := range schemes {
+			res := sim.RunMix(&cfg, s, mix)
+			o.progress("fig17a %-4s %-16s failed=%v", mix.Name, s, res.Failed)
+			w := rs.weightedIPC(res)
+			if s == config.SchemeBaseline {
+				base = w
+				continue
+			}
+			if perClass[mix.Class] == nil {
+				perClass[mix.Class] = map[config.Scheme][]float64{}
+				fails[mix.Class] = map[config.Scheme]bool{}
+				leaks[mix.Class] = map[config.Scheme]int{}
+			}
+			leaks[mix.Class][s] += res.Untracked
+			if res.Failed || base == 0 {
+				fails[mix.Class][s] = true
+				continue
+			}
+			perClass[mix.Class][s] = append(perClass[mix.Class][s], w/base)
+		}
+	}
+	for _, class := range []workload.Class{workload.Small, workload.Medium, workload.Large} {
+		if perClass[class] == nil && fails[class] == nil {
+			continue
+		}
+		cells := []string{"avg" + class.String()}
+		for _, s := range schemes[1:] {
+			if fails[class][s] && len(perClass[class][s]) == 0 {
+				cells = append(cells, "x")
+				continue
+			}
+			v := stats.Gmean(perClass[class][s])
+			label := fmt.Sprintf("%.3f", v)
+			if fails[class][s] {
+				label += "(partial)"
+			} else if s == config.SchemeBVv1 && leaks[class][s] > 0 {
+				label += fmt.Sprintf("(leaks %d→starves)", leaks[class][s])
+			}
+			cells = append(cells, label)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig17b renders TreeLing utilization and untracked slots per class.
+func (rs *RunSet) Fig17b() *stats.Table {
+	t := &stats.Table{Header: []string{"class", "utilization", "untracked-slots"}}
+	for _, class := range []workload.Class{workload.Small, workload.Medium, workload.Large} {
+		var um stats.Mean
+		un := 0
+		for _, mix := range rs.Options.Mixes {
+			if mix.Class != class {
+				continue
+			}
+			res := rs.Results[mix.Name][config.SchemeIvLeaguePro]
+			if res.Failed {
+				continue
+			}
+			um.Observe(res.Utilization)
+			un += res.Untracked
+		}
+		t.AddRow("avg"+class.String(), fmt.Sprintf("%.5f%%", um.Value()*100), fmt.Sprintf("%d", un))
+	}
+	return t
+}
+
+// Fig18 renders NFLB hit rates per mix per IvLeague scheme.
+func (rs *RunSet) Fig18() *stats.Table {
+	t := &stats.Table{Header: []string{"mix"}}
+	ivs := []config.Scheme{}
+	for _, s := range rs.Options.Schemes {
+		if s.IsIvLeague() {
+			ivs = append(ivs, s)
+			t.Header = append(t.Header, s.String())
+		}
+	}
+	for _, mix := range rs.Options.Mixes {
+		cells := []string{mix.Name}
+		for _, s := range ivs {
+			res := rs.Results[mix.Name][s]
+			cells = append(cells, fmt.Sprintf("%.1f%%", res.NFLBHitRate*100))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig19 renders total memory accesses normalized to Baseline.
+func (rs *RunSet) Fig19() *stats.Table {
+	t := &stats.Table{Header: []string{"mix"}}
+	ivs := []config.Scheme{}
+	for _, s := range rs.Options.Schemes {
+		if s.IsIvLeague() {
+			ivs = append(ivs, s)
+			t.Header = append(t.Header, s.String())
+		}
+	}
+	for _, mix := range rs.Options.Mixes {
+		base := rs.Results[mix.Name][config.SchemeBaseline].MemAccesses
+		cells := []string{mix.Name}
+		for _, s := range ivs {
+			r := rs.Results[mix.Name][s]
+			if base == 0 || r.Failed {
+				cells = append(cells, "x")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.1f%%", float64(r.MemAccesses)/float64(base)*100))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig20a sweeps the TreeLing size (height 3/4/5 ↔ 2/16/128 MiB in this
+// model's geometry; the paper's 8/64/512 MB have the same ×8 ratios) and
+// reports gmean IPC normalized to IvLeague-Basic at the default height.
+func Fig20a(o Options) *stats.Table {
+	heights := []int{3, 4, 5}
+	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
+	t := &stats.Table{Header: []string{"treeling", "Basic", "Invert", "Pro"}}
+	mixes := representativeMixes(o.Mixes)
+	var baseRef float64
+	rows := make([][]float64, len(heights))
+	for hi, h := range heights {
+		cfg := o.Cfg
+		cfg.IvLeague.TreeLingHeight = h
+		// Keep the forest covering memory as the TreeLing shrinks/grows.
+		need := int(cfg.DRAM.SizeBytes/cfg.TreeLingBytes()) * 2
+		if need < 1024 {
+			need = 1024
+		}
+		cfg.IvLeague.TreeLingCount = need
+		rows[hi] = make([]float64, len(schemes))
+		for si, s := range schemes {
+			var vals []float64
+			for _, mix := range mixes {
+				res := sim.RunMix(&cfg, s, mix)
+				o.progress("fig20a h=%d %-4s %-16s failed=%v", h, mix.Name, s, res.Failed)
+				if res.Failed {
+					continue
+				}
+				sum := 0.0
+				for _, v := range res.IPC {
+					sum += v
+				}
+				vals = append(vals, sum)
+			}
+			g := stats.Gmean(vals)
+			rows[hi][si] = g
+			if h == 4 && s == config.SchemeIvLeagueBasic {
+				baseRef = g
+			}
+		}
+	}
+	for hi, h := range heights {
+		mb := (uint64(1) << uint(3*h)) * config.PageBytes >> 20
+		cells := []string{fmt.Sprintf("%dMB(h=%d)", mb, h)}
+		for si := range schemes {
+			cells = append(cells, fmt.Sprintf("%.3f", rows[hi][si]/baseRef))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig20b sweeps the integrity-tree metadata cache size.
+func Fig20b(o Options) *stats.Table {
+	sizes := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
+	t := &stats.Table{Header: []string{"tree-cache", "Basic", "Invert", "Pro"}}
+	mixes := representativeMixes(o.Mixes)
+	var baseRef float64
+	rows := make([][]float64, len(sizes))
+	for zi, size := range sizes {
+		cfg := o.Cfg
+		cfg.SecureMem.TreeCache.SizeBytes = size
+		rows[zi] = make([]float64, len(schemes))
+		for si, s := range schemes {
+			var vals []float64
+			for _, mix := range mixes {
+				res := sim.RunMix(&cfg, s, mix)
+				o.progress("fig20b %dKB %-4s %-16s failed=%v", size>>10, mix.Name, s, res.Failed)
+				if res.Failed {
+					continue
+				}
+				sum := 0.0
+				for _, v := range res.IPC {
+					sum += v
+				}
+				vals = append(vals, sum)
+			}
+			rows[zi][si] = stats.Gmean(vals)
+			if size == 256<<10 && s == config.SchemeIvLeagueBasic {
+				baseRef = rows[zi][si]
+			}
+		}
+	}
+	for zi, size := range sizes {
+		cells := []string{fmt.Sprintf("%dKB", size>>10)}
+		for si := range schemes {
+			cells = append(cells, fmt.Sprintf("%.3f", rows[zi][si]/baseRef))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// representativeMixes picks up to two mixes per class for the sensitivity
+// sweeps (the paper reports class gmeans; two per class track them
+// closely at a fraction of the simulation cost).
+func representativeMixes(mixes []workload.Mix) []workload.Mix {
+	count := map[workload.Class]int{}
+	var out []workload.Mix
+	for _, m := range mixes {
+		if count[m.Class] < 2 {
+			out = append(out, m)
+			count[m.Class]++
+		}
+	}
+	return out
+}
+
+// Fig21 renders the required-TreeLings analysis for 8 GB and 32 GB.
+func Fig21() *stats.Table {
+	t := &stats.Table{Header: []string{"memory", "treeling", "skew=1.0", "skew=0.5", "skew=0.1", "minimum"}}
+	sizes := []int{2, 8, 32, 128, 512, 2048}
+	for _, memGB := range []int{8, 32} {
+		memBytes := uint64(memGB) << 30
+		for _, mb := range sizes {
+			cells := []string{fmt.Sprintf("%dGB", memGB), fmt.Sprintf("%dMB", mb)}
+			for _, skew := range []float64{1.0, 0.5, 0.1} {
+				cells = append(cells, fmt.Sprintf("%d",
+					analysis.RequiredTreeLings(memBytes, 1<<12, uint64(mb)<<20, skew)))
+			}
+			cells = append(cells, fmt.Sprintf("%d", (memBytes+uint64(mb)<<20-1)/(uint64(mb)<<20)))
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// Fig22 renders the static-vs-IvLeague success-rate sweep.
+func Fig22(o Options) *stats.Table {
+	t := &stats.Table{Header: []string{"util", "domains", "memGB", "static", "ivleague"}}
+	pts := analysis.Fig22Surface(4096, o.Cfg.TreeLingBytes(),
+		[]float64{0.2, 0.4, 0.6, 0.8},
+		[]int{8, 16, 32, 64, 128},
+		[]int{8, 32, 128, 256},
+		o.Trials, o.Cfg.Sim.Seed)
+	sort.SliceStable(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.Utilization != b.Utilization {
+			return a.Utilization < b.Utilization
+		}
+		if a.Domains != b.Domains {
+			return a.Domains < b.Domains
+		}
+		return a.MemoryGB < b.MemoryGB
+	})
+	for _, p := range pts {
+		t.AddRow(fmt.Sprintf("%.0f%%", p.Utilization*100), fmt.Sprintf("%d", p.Domains),
+			fmt.Sprintf("%d", p.MemoryGB), fmt.Sprintf("%.2f", p.Static), fmt.Sprintf("%.2f", p.IvLeague))
+	}
+	return t
+}
+
+// Table3 renders the hardware-cost table.
+func Table3(cfg *config.Config) *stats.Table {
+	r := hwcost.Compute(cfg)
+	t := &stats.Table{Header: []string{"component", "storage", "area(mm2)"}}
+	for _, c := range r.Components {
+		t.AddRow(c.Name, fmt.Sprintf("%d B", c.StorageBytes), fmt.Sprintf("%.4f", c.AreaMM2))
+	}
+	t.AddRow("total on-chip", "", fmt.Sprintf("%.4f", r.TotalOnChipMM2))
+	t.AddRow("locked tree-cache region", fmt.Sprintf("%d B", r.LockedTreeCacheBytes), "-")
+	t.AddRow("off-chip NFL", fmt.Sprintf("%d B (%.3f%%)", r.NFLMemoryBytes, r.NFLMemoryPct), "-")
+	t.AddRow("off-chip TreeLing forest", fmt.Sprintf("%d B (%.2f%%)", r.TreeMemoryBytes, r.TreeMemoryPct), "-")
+	t.AddRow("off-chip Baseline tree", fmt.Sprintf("%d B (%.2f%%)", r.BaselineTreeBytes, r.BaselineTreePct), "-")
+	return t
+}
+
+// Fig3 runs the side-channel demonstration across schemes.
+func Fig3(o Options) *stats.Table {
+	t := &stats.Table{Header: []string{"scheme", "shared-nodes", "accuracy", "lat(bit=1)", "lat(bit=0)"}}
+	acfg := attack.DefaultConfig()
+	acfg.KeyBits = 1024
+	cfg := o.Cfg
+	cfg.DRAM.SizeBytes = 1 << 30
+	cfg.IvLeague.TreeLingCount = 128
+	for _, s := range []config.Scheme{config.SchemeBaseline, config.SchemeIvLeagueBasic,
+		config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro} {
+		res, err := attack.Run(&cfg, s, acfg)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(s.String(), fmt.Sprintf("%v", res.SharedNodes),
+			fmt.Sprintf("%.1f%%", res.Accuracy*100),
+			fmt.Sprintf("%.0f", res.MeanLatencyHit), fmt.Sprintf("%.0f", res.MeanLatencyMiss))
+	}
+	return t
+}

@@ -1,0 +1,251 @@
+// Package layout defines the physical address map of the simulated machine:
+// the data region followed by the secure-memory metadata regions
+// (encryption counters, global integrity tree, TreeLing forest, NFL blocks,
+// and page tables). All schemes use static addressing inside these regions,
+// as the paper requires (TreeLing nodes are statically addressed; only the
+// page→node association is dynamic).
+package layout
+
+import (
+	"fmt"
+
+	"ivleague/internal/config"
+)
+
+// Layout is the computed address map. All fields are in bytes unless noted.
+type Layout struct {
+	Arity int
+
+	// Data region.
+	DataBytes uint64
+	Pages     uint64
+
+	// Counter region: one 64-byte counter block per page.
+	CounterBase uint64
+
+	// Global tree (Baseline / StaticPartition): levels 1..GlobalLevels,
+	// level 1 being the leaves and GlobalLevels the single root.
+	GlobalTreeBase  uint64
+	GlobalLevels    int
+	globalLevelOff  []uint64 // node offset of each level within the region
+	globalLevelCnt  []uint64
+	globalTreeNodes uint64
+
+	// TreeLing forest (IvLeague schemes).
+	TreeLingBase     uint64
+	TreeLingCount    int
+	TreeLingHeight   int
+	NodesPerTreeLing int
+	levelOff         []int // top-down node-index offset per level (index by level, 1..H)
+	levelCnt         []int
+
+	// NFL region: per-TreeLing free-list blocks.
+	NFLBase              uint64
+	NFLBlocksPerTreeLing int
+	NFLEntriesPerBlock   int
+
+	// Page-table / LMM region (for charging PTE and LMM memory traffic).
+	PTBase   uint64
+	ptBlocks uint64
+
+	// Top is the first byte past all regions.
+	Top uint64
+}
+
+// New computes the address map for a configuration.
+func New(cfg *config.Config) *Layout {
+	a := cfg.SecureMem.TreeArity
+	l := &Layout{
+		Arity:          a,
+		DataBytes:      cfg.DRAM.SizeBytes,
+		Pages:          cfg.TotalPages(),
+		TreeLingCount:  cfg.IvLeague.TreeLingCount,
+		TreeLingHeight: cfg.IvLeague.TreeLingHeight,
+	}
+	l.CounterBase = l.DataBytes
+
+	// Global tree geometry over one leaf slot per page.
+	l.GlobalTreeBase = l.CounterBase + l.Pages*config.BlockBytes
+	n := (l.Pages + uint64(a) - 1) / uint64(a) // leaf nodes
+	l.globalLevelOff = append(l.globalLevelOff, 0, 0)
+	l.globalLevelCnt = append(l.globalLevelCnt, 0, n)
+	off := n
+	lvl := 1
+	for n > 1 {
+		n = (n + uint64(a) - 1) / uint64(a)
+		lvl++
+		l.globalLevelOff = append(l.globalLevelOff, off)
+		l.globalLevelCnt = append(l.globalLevelCnt, n)
+		off += n
+	}
+	l.GlobalLevels = lvl
+	l.globalTreeNodes = off
+
+	// TreeLing geometry: levels 1..H, root = level H, top-down indexing.
+	h := l.TreeLingHeight
+	l.levelOff = make([]int, h+1)
+	l.levelCnt = make([]int, h+1)
+	cnt := 1
+	idx := 0
+	for level := h; level >= 1; level-- {
+		l.levelOff[level] = idx
+		l.levelCnt[level] = cnt
+		idx += cnt
+		cnt *= a
+	}
+	l.NodesPerTreeLing = idx
+
+	l.TreeLingBase = l.GlobalTreeBase + l.globalTreeNodes*config.BlockBytes
+	forestBytes := uint64(l.TreeLingCount) * uint64(l.NodesPerTreeLing) * config.BlockBytes
+
+	l.NFLEntriesPerBlock = cfg.IvLeague.NFLEntriesPerBlock
+	l.NFLBlocksPerTreeLing = (l.NodesPerTreeLing + l.NFLEntriesPerBlock - 1) / l.NFLEntriesPerBlock
+	l.NFLBase = l.TreeLingBase + forestBytes
+
+	nflBytes := uint64(l.TreeLingCount) * uint64(l.NFLBlocksPerTreeLing) * config.BlockBytes
+	l.PTBase = l.NFLBase + nflBytes
+	// Nominal page-table region: 16 bytes per page (extended PTE), rounded
+	// to a power of two block count for cheap hashing.
+	ptBlocks := l.Pages * 16 / config.BlockBytes
+	p := uint64(1)
+	for p < ptBlocks {
+		p <<= 1
+	}
+	l.ptBlocks = p
+	l.Top = l.PTBase + p*config.BlockBytes
+	return l
+}
+
+// CounterBlockAddr returns the physical address of page pfn's counter block.
+func (l *Layout) CounterBlockAddr(pfn uint64) uint64 {
+	if pfn >= l.Pages {
+		panic(fmt.Sprintf("layout: pfn %d out of range", pfn))
+	}
+	return l.CounterBase + pfn*config.BlockBytes
+}
+
+// GlobalLevelCount returns the number of nodes at a global-tree level
+// (1 = leaves).
+func (l *Layout) GlobalLevelCount(level int) uint64 {
+	return l.globalLevelCnt[level]
+}
+
+// GlobalNodeIndex returns the index, at the given tree level, of the node
+// on page pfn's verification path in the global tree.
+func (l *Layout) GlobalNodeIndex(pfn uint64, level int) uint64 {
+	idx := pfn
+	for i := 0; i < level; i++ {
+		idx /= uint64(l.Arity)
+	}
+	return idx
+}
+
+// GlobalNodeAddr returns the physical address of global tree node (level,
+// idx).
+func (l *Layout) GlobalNodeAddr(level int, idx uint64) uint64 {
+	if level < 1 || level > l.GlobalLevels {
+		panic(fmt.Sprintf("layout: global level %d out of range", level))
+	}
+	if idx >= l.globalLevelCnt[level] {
+		panic(fmt.Sprintf("layout: global node %d/%d out of range", level, idx))
+	}
+	return l.GlobalTreeBase + (l.globalLevelOff[level]+idx)*config.BlockBytes
+}
+
+// TreeLing node indexing ----------------------------------------------------
+
+// LevelOf returns the TreeLing level (1 = leaves .. H = root) of a
+// top-down node index.
+func (l *Layout) LevelOf(nodeIdx int) int {
+	for level := l.TreeLingHeight; level >= 1; level-- {
+		if nodeIdx < l.levelOff[level]+l.levelCnt[level] {
+			return level
+		}
+	}
+	panic(fmt.Sprintf("layout: node index %d out of range", nodeIdx))
+}
+
+// LevelNodeCount returns the number of nodes at a TreeLing level.
+func (l *Layout) LevelNodeCount(level int) int { return l.levelCnt[level] }
+
+// LevelOffset returns the top-down index of the first node at a level.
+func (l *Layout) LevelOffset(level int) int { return l.levelOff[level] }
+
+// NodeIndex returns the top-down node index of the i-th node at a level.
+func (l *Layout) NodeIndex(level, i int) int {
+	if i < 0 || i >= l.levelCnt[level] {
+		panic(fmt.Sprintf("layout: node %d at level %d out of range", i, level))
+	}
+	return l.levelOff[level] + i
+}
+
+// PosInLevel returns the position of nodeIdx within its level.
+func (l *Layout) PosInLevel(nodeIdx int) int {
+	return nodeIdx - l.levelOff[l.LevelOf(nodeIdx)]
+}
+
+// Parent returns the top-down index of nodeIdx's parent and the slot it
+// occupies in the parent. The root has no parent (ok == false).
+func (l *Layout) Parent(nodeIdx int) (parent, slot int, ok bool) {
+	level := l.LevelOf(nodeIdx)
+	if level == l.TreeLingHeight {
+		return 0, 0, false
+	}
+	pos := nodeIdx - l.levelOff[level]
+	return l.levelOff[level+1] + pos/l.Arity, pos % l.Arity, true
+}
+
+// Child returns the top-down index of the node covered by slot `slot` of
+// nodeIdx. Leaves (level 1) have no node children (ok == false): their
+// slots cover counter blocks.
+func (l *Layout) Child(nodeIdx, slot int) (child int, ok bool) {
+	level := l.LevelOf(nodeIdx)
+	if level == 1 {
+		return 0, false
+	}
+	pos := nodeIdx - l.levelOff[level]
+	return l.levelOff[level-1] + pos*l.Arity + slot, true
+}
+
+// TreeLingNodeAddr returns the physical address of node nodeIdx of
+// TreeLing tl.
+func (l *Layout) TreeLingNodeAddr(tl, nodeIdx int) uint64 {
+	if tl < 0 || tl >= l.TreeLingCount {
+		panic(fmt.Sprintf("layout: TreeLing %d out of range", tl))
+	}
+	if nodeIdx < 0 || nodeIdx >= l.NodesPerTreeLing {
+		panic(fmt.Sprintf("layout: node %d out of range", nodeIdx))
+	}
+	return l.TreeLingBase + (uint64(tl)*uint64(l.NodesPerTreeLing)+uint64(nodeIdx))*config.BlockBytes
+}
+
+// NFLBlockAddr returns the physical address of NFL block blockIdx of
+// TreeLing tl.
+func (l *Layout) NFLBlockAddr(tl, blockIdx int) uint64 {
+	if blockIdx < 0 || blockIdx >= l.NFLBlocksPerTreeLing {
+		panic(fmt.Sprintf("layout: NFL block %d out of range", blockIdx))
+	}
+	return l.NFLBase + (uint64(tl)*uint64(l.NFLBlocksPerTreeLing)+uint64(blockIdx))*config.BlockBytes
+}
+
+// PTEAddr returns a synthetic physical address for the extended PTE of
+// (domain, vpn), used to charge page-walk and LMM-miss memory traffic with
+// realistic spread.
+func (l *Layout) PTEAddr(domain int, vpn uint64) uint64 {
+	x := vpn>>2 ^ uint64(domain)<<40
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return l.PTBase + (x&(l.ptBlocks-1))*config.BlockBytes
+}
+
+// TreeLingPages returns the number of pages one TreeLing can verify in
+// leaf-only (Basic) mapping.
+func (l *Layout) TreeLingPages() int {
+	return l.levelCnt[1] * l.Arity
+}
+
+// TreeLingSlots returns the total number of hash slots in one TreeLing
+// (every node, every slot) — the Invert capacity upper bound.
+func (l *Layout) TreeLingSlots() int {
+	return l.NodesPerTreeLing * l.Arity
+}

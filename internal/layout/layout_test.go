@@ -1,0 +1,166 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivleague/internal/config"
+)
+
+func testLayout() *Layout {
+	cfg := config.Default()
+	return New(&cfg)
+}
+
+func TestRegionsDisjointAndOrdered(t *testing.T) {
+	l := testLayout()
+	if !(l.DataBytes <= l.CounterBase && l.CounterBase < l.GlobalTreeBase &&
+		l.GlobalTreeBase < l.TreeLingBase && l.TreeLingBase < l.NFLBase &&
+		l.NFLBase < l.PTBase && l.PTBase < l.Top) {
+		t.Fatalf("regions out of order: %+v", l)
+	}
+}
+
+func TestTreeLingNodeCounts(t *testing.T) {
+	l := testLayout()
+	// Arity 8 height 4: 512 + 64 + 8 + 1 nodes.
+	if l.NodesPerTreeLing != 585 {
+		t.Fatalf("NodesPerTreeLing = %d, want 585", l.NodesPerTreeLing)
+	}
+	if l.LevelNodeCount(1) != 512 || l.LevelNodeCount(4) != 1 {
+		t.Fatal("level counts wrong")
+	}
+	if l.TreeLingPages() != 4096 {
+		t.Fatalf("TreeLingPages = %d", l.TreeLingPages())
+	}
+	if l.TreeLingSlots() != 585*8 {
+		t.Fatalf("TreeLingSlots = %d", l.TreeLingSlots())
+	}
+}
+
+func TestTopDownIndexing(t *testing.T) {
+	l := testLayout()
+	if l.NodeIndex(4, 0) != 0 {
+		t.Fatal("root must be node 0")
+	}
+	if l.LevelOf(0) != 4 {
+		t.Fatal("node 0 must be at root level")
+	}
+	if l.NodeIndex(3, 0) != 1 || l.LevelOf(1) != 3 {
+		t.Fatal("level 3 must start at node 1")
+	}
+	if l.LevelOffset(1) != 1+8+64 {
+		t.Fatalf("leaf level offset = %d", l.LevelOffset(1))
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	l := testLayout()
+	f := func(raw uint16) bool {
+		node := int(raw) % l.NodesPerTreeLing
+		level := l.LevelOf(node)
+		if level == l.TreeLingHeight {
+			_, _, ok := l.Parent(node)
+			return !ok // root has no parent
+		}
+		p, slot, ok := l.Parent(node)
+		if !ok {
+			return false
+		}
+		child, ok := l.Child(p, slot)
+		return ok && child == node && l.LevelOf(p) == level+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafHasNoChild(t *testing.T) {
+	l := testLayout()
+	leaf := l.NodeIndex(1, 0)
+	if _, ok := l.Child(leaf, 0); ok {
+		t.Fatal("leaf reported a child")
+	}
+}
+
+func TestAddressesDistinct(t *testing.T) {
+	l := testLayout()
+	seen := map[uint64]bool{}
+	for tl := 0; tl < 3; tl++ {
+		for n := 0; n < l.NodesPerTreeLing; n++ {
+			a := l.TreeLingNodeAddr(tl, n)
+			if seen[a] {
+				t.Fatalf("duplicate node address %#x", a)
+			}
+			seen[a] = true
+			if a < l.TreeLingBase || a >= l.NFLBase {
+				t.Fatalf("node address %#x outside forest region", a)
+			}
+		}
+	}
+	for tl := 0; tl < 3; tl++ {
+		for b := 0; b < l.NFLBlocksPerTreeLing; b++ {
+			a := l.NFLBlockAddr(tl, b)
+			if seen[a] {
+				t.Fatalf("NFL block address %#x collides", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestGlobalTreeConverges(t *testing.T) {
+	l := testLayout()
+	if l.GlobalLevelCount(l.GlobalLevels) != 1 {
+		t.Fatalf("global tree top level has %d nodes", l.GlobalLevelCount(l.GlobalLevels))
+	}
+	// Walking any page's indices reaches node 0 at the top.
+	if l.GlobalNodeIndex(l.Pages-1, l.GlobalLevels) != 0 {
+		t.Fatal("last page does not converge to root")
+	}
+}
+
+func TestGlobalNodeAddrInRegion(t *testing.T) {
+	l := testLayout()
+	for level := 1; level <= l.GlobalLevels; level++ {
+		a := l.GlobalNodeAddr(level, 0)
+		if a < l.GlobalTreeBase || a >= l.TreeLingBase {
+			t.Fatalf("global node address %#x outside region", a)
+		}
+	}
+}
+
+func TestCounterAddrs(t *testing.T) {
+	l := testLayout()
+	a0 := l.CounterBlockAddr(0)
+	a1 := l.CounterBlockAddr(1)
+	if a1-a0 != config.BlockBytes {
+		t.Fatal("counter blocks not contiguous")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pfn did not panic")
+		}
+	}()
+	l.CounterBlockAddr(l.Pages)
+}
+
+func TestPTEAddrStaysInRegion(t *testing.T) {
+	l := testLayout()
+	f := func(domain uint8, vpn uint64) bool {
+		a := l.PTEAddr(int(domain), vpn)
+		return a >= l.PTBase && a < l.Top
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosInLevel(t *testing.T) {
+	l := testLayout()
+	for i := 0; i < l.LevelNodeCount(2); i++ {
+		if l.PosInLevel(l.NodeIndex(2, i)) != i {
+			t.Fatalf("PosInLevel broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package osmodel provides the minimal operating-system substrate the
+// simulator needs: a physical frame allocator and process/domain
+// lifecycle with lazily-populated page tables. The OS is untrusted in the
+// paper's threat model — it only picks physical frames; all security
+// metadata mapping is done by the (simulated) hardware in internal/core
+// and internal/secmem.
+package osmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"ivleague/internal/pagetable"
+	"ivleague/internal/stats"
+)
+
+// ErrOutOfMemory is returned when no physical frame is available.
+var ErrOutOfMemory = errors.New("osmodel: out of physical memory")
+
+// FrameAllocator hands out physical page frames in [lo, hi). Freed frames
+// are recycled LIFO, which creates the address-reuse patterns that
+// exercise the NFL deallocation paths.
+type FrameAllocator struct {
+	lo, hi uint64
+	next   uint64
+	free   []uint64
+	inUse  uint64
+
+	Allocs stats.Counter
+	Frees  stats.Counter
+}
+
+// NewFrameAllocator creates an allocator over frames [lo, hi).
+func NewFrameAllocator(lo, hi uint64) *FrameAllocator {
+	if hi <= lo {
+		panic("osmodel: empty frame range")
+	}
+	return &FrameAllocator{lo: lo, hi: hi, next: lo}
+}
+
+// Alloc returns a free frame.
+func (f *FrameAllocator) Alloc() (uint64, error) {
+	if n := len(f.free); n > 0 {
+		pfn := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.inUse++
+		f.Allocs.Inc()
+		return pfn, nil
+	}
+	if f.next >= f.hi {
+		return 0, ErrOutOfMemory
+	}
+	pfn := f.next
+	f.next++
+	f.inUse++
+	f.Allocs.Inc()
+	return pfn, nil
+}
+
+// Free returns a frame to the allocator.
+func (f *FrameAllocator) Free(pfn uint64) {
+	if pfn < f.lo || pfn >= f.hi {
+		panic(fmt.Sprintf("osmodel: freeing frame %d outside [%d,%d)", pfn, f.lo, f.hi))
+	}
+	f.free = append(f.free, pfn)
+	f.inUse--
+	f.Frees.Inc()
+}
+
+// InUse returns the number of frames currently allocated.
+func (f *FrameAllocator) InUse() uint64 { return f.inUse }
+
+// Capacity returns the total number of frames managed.
+func (f *FrameAllocator) Capacity() uint64 { return f.hi - f.lo }
+
+// Process is one running program: an IV domain with a page table. Threads
+// of the same process share the Process (same domain).
+type Process struct {
+	PID      int
+	DomainID int
+	Table    *pagetable.Table
+	frames   *FrameAllocator
+
+	// Hooks into the secure-memory scheme, set by the simulator.
+	// OnPageMap is called after a frame is mapped (hardware assigns a
+	// tree slot); OnPageUnmap before the frame is freed.
+	OnPageMap   func(domainID int, vpn, pfn uint64)
+	OnPageUnmap func(domainID int, vpn, pfn uint64)
+
+	PagesMapped stats.Counter
+	PagesFreed  stats.Counter
+}
+
+// NewProcess creates a process with its own page table drawing frames from
+// frames. ptLevels selects the classic or IvLeague PTE layout.
+func NewProcess(pid, domainID int, frames *FrameAllocator, ptLevels []uint) *Process {
+	return &Process{
+		PID:      pid,
+		DomainID: domainID,
+		Table:    pagetable.New(ptLevels),
+		frames:   frames,
+	}
+}
+
+// Touch ensures vpn is mapped, allocating and mapping a frame on first
+// touch. It returns the PFN and whether a fault (new mapping) occurred.
+func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
+	if pte := p.Table.Lookup(vpn); pte != nil {
+		return pte.PFN, false, nil
+	}
+	pfn, err = p.frames.Alloc()
+	if err != nil {
+		return 0, false, err
+	}
+	p.Table.Map(vpn, pfn)
+	p.PagesMapped.Inc()
+	if p.OnPageMap != nil {
+		p.OnPageMap(p.DomainID, vpn, pfn)
+	}
+	return pfn, true, nil
+}
+
+// Unmap releases vpn if mapped, returning whether it was.
+func (p *Process) Unmap(vpn uint64) bool {
+	pte := p.Table.Lookup(vpn)
+	if pte == nil {
+		return false
+	}
+	pfn := pte.PFN
+	if p.OnPageUnmap != nil {
+		p.OnPageUnmap(p.DomainID, vpn, pfn)
+	}
+	p.Table.Unmap(vpn)
+	p.frames.Free(pfn)
+	p.PagesFreed.Inc()
+	return true
+}
+
+// Mapped returns the number of currently mapped pages.
+func (p *Process) Mapped() uint64 { return p.Table.Mapped() }

@@ -1,0 +1,108 @@
+package osmodel
+
+import (
+	"errors"
+	"testing"
+
+	"ivleague/internal/pagetable"
+)
+
+func TestFrameAllocatorBasics(t *testing.T) {
+	f := NewFrameAllocator(10, 20)
+	if f.Capacity() != 10 {
+		t.Fatalf("capacity %d", f.Capacity())
+	}
+	a, err := f.Alloc()
+	if err != nil || a != 10 {
+		t.Fatalf("first frame %d err %v", a, err)
+	}
+	if f.InUse() != 1 {
+		t.Fatal("in-use not tracked")
+	}
+	f.Free(a)
+	if f.InUse() != 0 {
+		t.Fatal("free not tracked")
+	}
+	// Freed frames are recycled (LIFO).
+	b, _ := f.Alloc()
+	if b != a {
+		t.Fatalf("freed frame not recycled: %d", b)
+	}
+}
+
+func TestFrameExhaustion(t *testing.T) {
+	f := NewFrameAllocator(0, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestFreeOutOfRangePanics(t *testing.T) {
+	f := NewFrameAllocator(0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range free did not panic")
+		}
+	}()
+	f.Free(5)
+}
+
+func TestProcessTouchAndUnmap(t *testing.T) {
+	frames := NewFrameAllocator(0, 100)
+	var mapped, unmapped int
+	p := NewProcess(1, 7, frames, pagetable.IvLeagueLevels)
+	p.OnPageMap = func(dom int, vpn, pfn uint64) {
+		if dom != 7 {
+			t.Fatalf("domain %d", dom)
+		}
+		mapped++
+	}
+	p.OnPageUnmap = func(dom int, vpn, pfn uint64) { unmapped++ }
+
+	pfn, fault, err := p.Touch(42)
+	if err != nil || !fault {
+		t.Fatalf("first touch: fault=%v err=%v", fault, err)
+	}
+	pfn2, fault2, _ := p.Touch(42)
+	if fault2 || pfn2 != pfn {
+		t.Fatal("second touch faulted or changed frame")
+	}
+	if mapped != 1 {
+		t.Fatalf("map hook fired %d times", mapped)
+	}
+	if !p.Unmap(42) {
+		t.Fatal("unmap failed")
+	}
+	if unmapped != 1 || p.Mapped() != 0 || frames.InUse() != 0 {
+		t.Fatal("unmap bookkeeping wrong")
+	}
+	if p.Unmap(42) {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestProcessOOMPropagates(t *testing.T) {
+	frames := NewFrameAllocator(0, 2)
+	p := NewProcess(1, 1, frames, pagetable.ClassicLevels)
+	p.Touch(0)
+	p.Touch(1)
+	if _, _, err := p.Touch(2); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestTwoProcessesShareFrames(t *testing.T) {
+	frames := NewFrameAllocator(0, 100)
+	p1 := NewProcess(1, 1, frames, pagetable.IvLeagueLevels)
+	p2 := NewProcess(2, 2, frames, pagetable.IvLeagueLevels)
+	f1, _, _ := p1.Touch(0)
+	f2, _, _ := p2.Touch(0)
+	if f1 == f2 {
+		t.Fatal("two processes got the same frame")
+	}
+}

@@ -1,0 +1,232 @@
+// Package pagetable implements the multi-level radix page table and TLB
+// model. IvLeague extends the last-level PTE with a 64-bit Leaf ID field
+// (the Leaf Mapping Metadata, LMM), which halves the entries per PTE page
+// — both layouts from Figure 9 are supported.
+package pagetable
+
+import (
+	"fmt"
+
+	"ivleague/internal/stats"
+)
+
+// PTE is a (possibly extended) page-table entry.
+type PTE struct {
+	PFN     uint64
+	LeafID  uint64 // LMM: the TreeLing slot verifying this page (IvLeague)
+	Present bool
+}
+
+// Levels describe a radix page-table geometry as index bit-widths from the
+// top level down to the PTE level.
+var (
+	// ClassicLevels is the x86-64 4-level layout (512-entry pages).
+	ClassicLevels = []uint{9, 9, 9, 9}
+	// IvLeagueLevels is the extended layout of Figure 9b: the PTE page
+	// holds 256 doubled entries, so the last level indexes 8 bits and the
+	// level above absorbs the extra bit.
+	IvLeagueLevels = []uint{9, 9, 10, 8}
+)
+
+type ptNode struct {
+	children []*ptNode
+	ptes     []PTE
+}
+
+// Table is one process's page table.
+type Table struct {
+	levels []uint
+	shifts []uint // shift of each level's index field within the VPN
+	root   *ptNode
+	mapped uint64
+}
+
+// New creates an empty page table with the given level widths (totalling
+// the VPN width, 36 bits for 48-bit VAs with 4 KiB pages).
+func New(levels []uint) *Table {
+	total := uint(0)
+	for _, w := range levels {
+		total += w
+	}
+	if total != 36 {
+		panic(fmt.Sprintf("pagetable: level widths sum to %d, want 36", total))
+	}
+	t := &Table{levels: append([]uint(nil), levels...)}
+	t.shifts = make([]uint, len(levels))
+	shift := total
+	for i, w := range levels {
+		shift -= w
+		t.shifts[i] = shift
+	}
+	t.root = &ptNode{children: make([]*ptNode, 1<<levels[0])}
+	return t
+}
+
+// Depth returns the number of page-table levels (walk length).
+func (t *Table) Depth() int { return len(t.levels) }
+
+// Mapped returns the number of present PTEs.
+func (t *Table) Mapped() uint64 { return t.mapped }
+
+func (t *Table) index(vpn uint64, level int) uint64 {
+	return (vpn >> t.shifts[level]) & (1<<t.levels[level] - 1)
+}
+
+// walk returns the PTE slot for vpn, allocating intermediate nodes when
+// create is set; returns nil otherwise when the path is absent.
+func (t *Table) walk(vpn uint64, create bool) *PTE {
+	n := t.root
+	last := len(t.levels) - 1
+	for level := 0; level < last; level++ {
+		i := t.index(vpn, level)
+		child := n.children[i]
+		if child == nil {
+			if !create {
+				return nil
+			}
+			child = &ptNode{}
+			if level == last-1 {
+				child.ptes = make([]PTE, 1<<t.levels[last])
+			} else {
+				child.children = make([]*ptNode, 1<<t.levels[level+1])
+			}
+			n.children[i] = child
+		}
+		n = child
+	}
+	return &n.ptes[t.index(vpn, last)]
+}
+
+// Map installs a translation vpn→pfn. Mapping an already-present VPN is a
+// logic error and panics.
+func (t *Table) Map(vpn, pfn uint64) {
+	pte := t.walk(vpn, true)
+	if pte.Present {
+		panic(fmt.Sprintf("pagetable: vpn %#x already mapped", vpn))
+	}
+	*pte = PTE{PFN: pfn, Present: true}
+	t.mapped++
+}
+
+// Unmap removes a translation, returning the old PTE.
+func (t *Table) Unmap(vpn uint64) (PTE, bool) {
+	pte := t.walk(vpn, false)
+	if pte == nil || !pte.Present {
+		return PTE{}, false
+	}
+	old := *pte
+	*pte = PTE{}
+	t.mapped--
+	return old, true
+}
+
+// Lookup returns a pointer to the PTE for vpn, or nil if unmapped. The
+// pointer stays valid until Unmap; callers may update LeafID through it.
+func (t *Table) Lookup(vpn uint64) *PTE {
+	pte := t.walk(vpn, false)
+	if pte == nil || !pte.Present {
+		return nil
+	}
+	return pte
+}
+
+// SetLeafID updates the LMM field of a mapped page.
+func (t *Table) SetLeafID(vpn, leafID uint64) {
+	pte := t.Lookup(vpn)
+	if pte == nil {
+		panic(fmt.Sprintf("pagetable: SetLeafID on unmapped vpn %#x", vpn))
+	}
+	pte.LeafID = leafID
+}
+
+// TLB is a set-associative translation lookaside buffer over VPNs. On
+// eviction it invokes the eviction hook so the LMM cache can stay
+// consistent, per Section VI-C2.
+type TLB struct {
+	ways    int
+	sets    [][]tlbEntry
+	setMask uint64
+	tick    uint64
+	// OnEvict, when non-nil, is called with the VPN of each evicted entry.
+	OnEvict func(vpn uint64)
+
+	Hits   stats.Counter
+	Misses stats.Counter
+}
+
+type tlbEntry struct {
+	vpn     uint64
+	pfn     uint64
+	lastUse uint64
+	valid   bool
+}
+
+// NewTLB creates a TLB with the given total entries and associativity.
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("pagetable: bad TLB geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("pagetable: TLB set count must be a power of two")
+	}
+	t := &TLB{ways: ways, sets: make([][]tlbEntry, nsets), setMask: uint64(nsets - 1)}
+	backing := make([]tlbEntry, nsets*ways)
+	for i := range t.sets {
+		t.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return t
+}
+
+// Lookup translates vpn, returning (pfn, true) on a hit.
+func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
+	t.tick++
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lastUse = t.tick
+			t.Hits.Inc()
+			return set[i].pfn, true
+		}
+	}
+	t.Misses.Inc()
+	return 0, false
+}
+
+// Insert installs a translation after a miss, evicting LRU if needed.
+func (t *TLB) Insert(vpn, pfn uint64) {
+	t.tick++
+	set := t.sets[vpn&t.setMask]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if t.OnEvict != nil {
+		t.OnEvict(set[victim].vpn)
+	}
+fill:
+	set[victim] = tlbEntry{vpn: vpn, pfn: pfn, lastUse: t.tick, valid: true}
+}
+
+// Invalidate drops a translation (used on unmap).
+func (t *TLB) Invalidate(vpn uint64) bool {
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i] = tlbEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate returns the TLB hit rate so far.
+func (t *TLB) HitRate() float64 {
+	return stats.Ratio(t.Hits.Value(), t.Hits.Value()+t.Misses.Value())
+}

@@ -1,0 +1,152 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapLookupUnmap(t *testing.T) {
+	for _, levels := range [][]uint{ClassicLevels, IvLeagueLevels} {
+		pt := New(levels)
+		pt.Map(0x12345, 99)
+		pte := pt.Lookup(0x12345)
+		if pte == nil || pte.PFN != 99 {
+			t.Fatalf("lookup failed: %+v", pte)
+		}
+		if pt.Mapped() != 1 {
+			t.Fatalf("mapped %d", pt.Mapped())
+		}
+		old, ok := pt.Unmap(0x12345)
+		if !ok || old.PFN != 99 {
+			t.Fatal("unmap failed")
+		}
+		if pt.Lookup(0x12345) != nil || pt.Mapped() != 0 {
+			t.Fatal("entry survives unmap")
+		}
+	}
+}
+
+func TestDoubleMapPanics(t *testing.T) {
+	pt := New(IvLeagueLevels)
+	pt.Map(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double map did not panic")
+		}
+	}()
+	pt.Map(5, 2)
+}
+
+func TestBadLevelWidthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad widths did not panic")
+		}
+	}()
+	New([]uint{9, 9, 9})
+}
+
+func TestSetLeafID(t *testing.T) {
+	pt := New(IvLeagueLevels)
+	pt.Map(7, 3)
+	pt.SetLeafID(7, 0xfeed)
+	if pt.Lookup(7).LeafID != 0xfeed {
+		t.Fatal("LeafID not stored")
+	}
+}
+
+func TestDistinctVPNsNoAliasing(t *testing.T) {
+	pt := New(IvLeagueLevels)
+	f := func(vpns []uint32) bool {
+		fresh := New(IvLeagueLevels)
+		seen := map[uint64]uint64{}
+		for i, raw := range vpns {
+			vpn := uint64(raw)
+			if _, dup := seen[vpn]; dup {
+				continue
+			}
+			fresh.Map(vpn, uint64(i))
+			seen[vpn] = uint64(i)
+		}
+		for vpn, pfn := range seen {
+			pte := fresh.Lookup(vpn)
+			if pte == nil || pte.PFN != pfn {
+				return false
+			}
+		}
+		return fresh.Mapped() == uint64(len(seen))
+	}
+	_ = pt
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPNsDifferingOnlyInHighBits(t *testing.T) {
+	pt := New(IvLeagueLevels)
+	a := uint64(0x123)
+	b := a | 1<<35 // top-level index differs
+	pt.Map(a, 1)
+	pt.Map(b, 2)
+	if pt.Lookup(a).PFN != 1 || pt.Lookup(b).PFN != 2 {
+		t.Fatal("high-bit aliasing")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	if _, hit := tlb.Lookup(10); hit {
+		t.Fatal("cold TLB hit")
+	}
+	tlb.Insert(10, 77)
+	pfn, hit := tlb.Lookup(10)
+	if !hit || pfn != 77 {
+		t.Fatal("TLB miss after insert")
+	}
+	if tlb.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", tlb.HitRate())
+	}
+}
+
+func TestTLBEvictionCallback(t *testing.T) {
+	tlb := NewTLB(8, 2) // 4 sets × 2 ways
+	var evicted []uint64
+	tlb.OnEvict = func(vpn uint64) { evicted = append(evicted, vpn) }
+	// Fill one set (vpns congruent mod 4) beyond capacity.
+	tlb.Insert(0, 1)
+	tlb.Insert(4, 2)
+	tlb.Insert(8, 3) // evicts vpn 0 (LRU)
+	if len(evicted) != 1 || evicted[0] != 0 {
+		t.Fatalf("evictions: %v", evicted)
+	}
+	if _, hit := tlb.Lookup(0); hit {
+		t.Fatal("evicted vpn still hits")
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := NewTLB(8, 2)
+	tlb.Insert(3, 9)
+	if !tlb.Invalidate(3) {
+		t.Fatal("invalidate missed")
+	}
+	if _, hit := tlb.Lookup(3); hit {
+		t.Fatal("invalidated entry hits")
+	}
+	if tlb.Invalidate(3) {
+		t.Fatal("double invalidate succeeded")
+	}
+}
+
+func TestTLBBadGeometry(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {7, 2}, {12, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v did not panic", g)
+				}
+			}()
+			NewTLB(g[0], g[1])
+		}()
+	}
+}

@@ -1,0 +1,170 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator. Every stochastic component takes
+// an explicit *rng.Source so that simulation runs are exactly reproducible
+// from a seed, independent of Go version or math/rand internals.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** generator seeded via splitmix64.
+// The zero value is not valid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	r := &Source{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork derives an independent child generator. The child's stream is a
+// deterministic function of the parent state and the label, and forking
+// does not perturb the parent stream.
+func (r *Source) Fork(label uint64) *Source {
+	return New(r.s[0] ^ r.s[2]*0x9e3779b97f4a7c15 ^ label*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	v := r.Uint64()
+	hi, lo := mul128(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul128(v, n)
+		}
+	}
+	return hi
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent theta using
+// the rejection-inversion free approximation (power-law via inverse CDF).
+// theta must be in (0, 5]. Larger theta skews more strongly toward 0.
+type Zipf struct {
+	n     uint64
+	theta float64
+	// alpha/eta precomputation following Gray et al. quick Zipf generation.
+	alpha, zetan, eta float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skew theta (0 < theta < 1
+// means mild skew; classic value 0.99).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with n == 0")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact up to a cutoff, then Euler-Maclaurin tail approximation so that
+	// constructing a sampler over millions of pages stays O(cutoff).
+	const cutoff = 10000
+	sum := 0.0
+	m := n
+	if m > cutoff {
+		m = cutoff
+	}
+	for i := uint64(1); i <= m; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > cutoff {
+		// Integral tail: ∫_{cutoff}^{n} x^-theta dx.
+		if theta == 1 {
+			sum += math.Log(float64(n) / float64(cutoff))
+		} else {
+			sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cutoff), 1-theta)) / (1 - theta)
+		}
+	}
+	return sum
+}
+
+// Next draws the next Zipf value in [0, n).
+func (z *Zipf) Next(r *Source) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}

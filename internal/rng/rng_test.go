@@ -1,0 +1,169 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(3)
+	child := parent.Fork(1)
+	ref := New(3)
+	// Forking must not perturb the parent stream.
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatalf("fork perturbed parent at %d", i)
+		}
+	}
+	// Different labels give different children.
+	c2 := New(3).Fork(2)
+	if child.Uint64() == c2.Uint64() {
+		t.Fatal("fork labels 1 and 2 produced identical streams")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(19)
+	z := NewZipf(1000, 0.99)
+	counts := make(map[uint64]int)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		v := z.Next(r)
+		if v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 100 heavily under theta=0.99.
+	if counts[0] < 10*counts[100]+1 {
+		t.Fatalf("Zipf not skewed: c0=%d c100=%d", counts[0], counts[100])
+	}
+}
+
+func TestZipfLargeRange(t *testing.T) {
+	r := New(23)
+	z := NewZipf(1<<22, 0.8) // millions of pages, as in Large workloads
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(r); v >= 1<<22 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	r := New(29)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul128AgainstBits(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		// Verify via 32-bit long multiplication identity on low part.
+		if lo != a*b {
+			return false
+		}
+		// hi must match floor(a*b / 2^64) computed via halves.
+		a0, a1 := a&0xffffffff, a>>32
+		b0, b1 := b&0xffffffff, b>>32
+		t1 := a1*b0 + (a0*b0)>>32
+		w1 := t1&0xffffffff + a0*b1
+		want := a1*b1 + t1>>32 + w1>>32
+		return hi == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package secmem
+
+import (
+	"fmt"
+
+	"ivleague/internal/config"
+	"ivleague/internal/core"
+	"ivleague/internal/tree"
+)
+
+// OnPageMap performs the scheme's work when the OS maps a new page into a
+// domain: IvLeague assigns a TreeLing slot (possibly assigning a whole new
+// TreeLing) and installs the LMM entry; static partitioning checks the
+// frame lies in the domain's partition. It returns the added latency.
+func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, error) {
+	c.pageVPN[pfn] = vpn
+	switch {
+	case c.ivc != nil:
+		c.ops.Reset()
+		slot, err := c.ivc.AllocPage(domain, pfn, &c.ops)
+		if err != nil {
+			return 0, err
+		}
+		c.pageSlots[pfn] = slot
+		c.lmm.Access(domain, vpn, true) // install the LMM entry
+		lat := c.replayOps(now)
+		// A fresh TreeLing's NFL initialization (dozens of block writes)
+		// runs in the background; only a bounded portion serializes with
+		// the faulting access.
+		if cap := 2 * c.cfg.DRAM.RowMissLatency; lat > cap {
+			lat = cap
+		}
+		if c.forest != nil {
+			// Fresh pages verify against their zero counter block.
+			c.forest.SetSlot(slot.TreeLing(), slot.Node(), slot.Slot(),
+				tree.CounterBlockHash(pfn, c.counters.Snapshot(pfn)))
+		}
+		return lat, nil
+	case c.scheme == config.SchemeStaticPartition:
+		lo, hi := c.PartitionRange(domain)
+		lat := 0
+		if pfn < lo || pfn >= hi {
+			// The OS could not honour the partition: the paper's static
+			// scheme requires swapping. Charge a swap penalty.
+			c.SwapPenalties.Inc()
+			lat = c.cfg.DRAM.RowMissLatency * 64
+		}
+		if c.global != nil {
+			c.global.Update(pfn, c.counters.Snapshot(pfn))
+		}
+		return lat, nil
+	default:
+		if c.global != nil {
+			c.global.Update(pfn, c.counters.Snapshot(pfn))
+		}
+		return 0, nil
+	}
+}
+
+// OnPageUnmap releases a page's metadata when the OS unmaps it.
+func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) int {
+	delete(c.pageVPN, pfn)
+	c.counters.Drop(pfn)
+	if c.ivc != nil {
+		c.ops.Reset()
+		slot := c.pageSlots[pfn]
+		if rs, changed := c.ivc.Resolve(domain, slot); changed {
+			slot = rs
+		}
+		if err := c.ivc.FreePage(domain, pfn, slot, &c.ops); err != nil {
+			panic(fmt.Sprintf("secmem: FreePage: %v", err))
+		}
+		delete(c.pageSlots, pfn)
+		c.lmm.Invalidate(domain, vpn)
+		return c.replayOps(now)
+	}
+	if c.global != nil {
+		c.global.Update(pfn, c.counters.Snapshot(pfn))
+	}
+	return 0
+}
+
+// Access models one LLC-miss memory transaction through the secure-memory
+// path and returns its latency in cycles. write=true models the secure
+// write of a dirty line (counter increment, tree update, encrypted data
+// write); write=false models a read with integrity verification.
+//
+// In functional mode a read verifies the real hash chain and returns an
+// error if the memory was tampered with.
+func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, write bool) (int, error) {
+	dataAddr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	lat := 0
+
+	// Locate the page's verification slot (IvLeague: LMM lookup, lazy
+	// resolution of converted slots, Pro hot tracking). The leaf ID is
+	// only *needed* when the verification walk runs (counter and data
+	// addresses are statically mapped), so an LMM miss costs its PTE read
+	// inside the counter-miss branch, overlapped with nothing — not on
+	// every access.
+	var slot core.SlotID
+	lmmMiss := false
+	if c.ivc != nil {
+		c.ops.Reset()
+		if hit := c.lmm.Access(domain, vpn, false); !hit {
+			// LMM miss: if the leaf ID turns out to be needed (a
+			// verification walk or a tree update), the extended PTE is
+			// read from memory at that point.
+			lmmMiss = true
+		} else {
+			lat += c.cfg.IvLeague.LMMCache.HitLatency
+		}
+		var ok bool
+		slot, ok = c.pageSlots[pfn]
+		if !ok {
+			return 0, fmt.Errorf("secmem: access to unmapped pfn %d", pfn)
+		}
+		if rs, changed := c.ivc.Resolve(domain, slot); changed {
+			// Figure 12c: the LMM pointed at a converted parent slot;
+			// refresh it to the page's effective slot.
+			c.pageSlots[pfn] = rs
+			slot = rs
+			c.lmm.Access(domain, vpn, true)
+		}
+		if ns, migrated := c.ivc.OnAccess(domain, pfn, slot, &c.ops); migrated {
+			slot = ns
+		}
+		lat += c.replayOps(now)
+	}
+
+	if write {
+		if lmmMiss {
+			// The write path always updates the page's tree node.
+			lat += c.dram.Access(now, c.lay.PTEAddr(domain, vpn), false)
+		}
+		return c.secureWrite(now, domain, pfn, block, dataAddr, slot, lat)
+	}
+	return c.secureRead(now, domain, vpn, pfn, dataAddr, slot, lat, lmmMiss)
+}
+
+// secureRead: fetch data and counter in parallel, verify the counter
+// through the tree when it misses on-chip, then MAC-check.
+func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAddr uint64, slot core.SlotID, lat int, lmmMiss bool) (int, error) {
+	c.DataReads.Inc()
+	dataLat := c.dram.Access(now, dataAddr, false)
+
+	// The counter address is statically mapped, so its fetch needs no
+	// leaf ID; the PTE read happens only when the verification walk runs.
+	ctrAddr := c.lay.CounterBlockAddr(pfn)
+	res := c.counterCache.Access(ctrAddr, false)
+	metaLat := res.Latency
+	verified := false
+	if res.EvictedDirty {
+		c.dram.Access(now, res.WritebackAddr, true)
+	}
+	if !res.Hit {
+		metaLat += c.dram.Access(now, ctrAddr, false)
+		if lmmMiss && c.ivc != nil {
+			metaLat += c.dram.Access(now, c.lay.PTEAddr(domain, vpn), false)
+		}
+		metaLat += c.verifyWalk(now, domain, pfn, slot)
+		verified = true
+	}
+	if verified && c.functional {
+		if err := c.functionalVerify(pfn, slot); err != nil {
+			c.TamperEvents.Inc()
+			return 0, err
+		}
+	}
+	// Strict verification (as in SGX-class processors): data is released
+	// to the core only after its counter is verified and the MAC checked,
+	// so the verification walk serializes with the tail of the data
+	// fetch. The counter fetch itself overlaps the data fetch.
+	if verified {
+		lat += dataLat + metaLat
+	} else if metaLat > dataLat {
+		lat += metaLat
+	} else {
+		lat += dataLat
+	}
+	lat += c.engine.MACLatency()
+	return lat, nil
+}
+
+// secureWrite: bump the counter (re-encrypting the page on minor
+// overflow), update the leaf tree node, write the encrypted data back.
+func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, dataAddr uint64, slot core.SlotID, lat int) (int, error) {
+	c.DataWrites.Inc()
+	metaLat, _ := c.counterFetch(now, domain, pfn, slot, true)
+	lat += metaLat
+
+	if overflow := c.counters.Increment(pfn, block); overflow {
+		// Minor-counter overflow: the whole page is re-encrypted under
+		// the new major counter (reads + writes of every block; charged
+		// at one DRAM transaction per 8 blocks as a pipelined stream).
+		c.Overflows.Inc()
+		for i := 0; i < config.BlocksPerPage; i += 8 {
+			a := pfn<<config.PageShift | uint64(i)<<config.BlockShift
+			lat += c.dram.Access(now, a, false)
+			c.dram.Access(now, a, true)
+		}
+		lat += c.engine.AESLatency()
+	}
+
+	// Update the tree node holding this counter block's hash, up to the
+	// first on-chip level (dirty in the tree cache).
+	lat += c.updateLeafNode(now, domain, pfn, slot)
+	lat += c.engine.MACLatency() // MAC regeneration (pipelined)
+
+	// Posted encrypted-data write.
+	lat += c.dram.Access(now, dataAddr, true)
+
+	// Functional hash maintenance.
+	if c.functional {
+		snap := c.counters.Snapshot(pfn)
+		if c.forest != nil && slot != core.InvalidSlot {
+			c.forest.SetSlot(slot.TreeLing(), slot.Node(), slot.Slot(),
+				tree.CounterBlockHash(pfn, snap))
+		} else if c.global != nil {
+			c.global.Update(pfn, snap)
+		}
+	}
+	return lat, nil
+}
+
+// counterFetch accesses the page's counter block through the counter
+// cache; a miss fetches it from memory and triggers a verification walk.
+// It returns the latency and whether a verification walk happened.
+func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.SlotID, write bool) (int, bool) {
+	ctrAddr := c.lay.CounterBlockAddr(pfn)
+	res := c.counterCache.Access(ctrAddr, write)
+	lat := res.Latency
+	if res.EvictedDirty {
+		c.dram.Access(now, res.WritebackAddr, true)
+	}
+	if res.Hit {
+		return lat, false
+	}
+	lat += c.dram.Access(now, ctrAddr, false)
+	lat += c.verifyWalk(now, domain, pfn, slot)
+	return lat, true
+}
+
+// verifyWalk walks the integrity path from the page's first tree node
+// toward the root, reading and hashing every node until one is found in
+// the (trusted, on-chip) tree cache. The number of node blocks read from
+// memory is the Figure 16 path-length metric.
+func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.SlotID) int {
+	c.Verifications.Inc()
+	lat := 0
+	pathLen := 0
+	step := func(addr uint64) bool {
+		res := c.treeCache.Access(addr, false)
+		lat += res.Latency
+		if res.EvictedDirty {
+			c.dram.Access(now, res.WritebackAddr, true)
+		}
+		if res.Hit {
+			return true // trusted on-chip copy ends the walk
+		}
+		lat += c.dram.Access(now, addr, false)
+		lat += c.engine.HashLatency()
+		pathLen++
+		return false
+	}
+	switch {
+	case c.ivc != nil:
+		c.pathBuf = c.ivc.PathNodes(slot, c.pathBuf[:0])
+		tl := slot.TreeLing()
+		for _, node := range c.pathBuf {
+			if step(c.lay.TreeLingNodeAddr(tl, node)) {
+				break
+			}
+		}
+		// The TreeLing root's parent (and all levels above) are pinned
+		// on-chip by way partitioning, so the walk always terminates.
+	default:
+		top := c.lay.GlobalLevels
+		if c.scheme == config.SchemeStaticPartition {
+			top = c.partLevel // the partition's subtree root is on-chip
+		}
+		for level := 1; level <= top; level++ {
+			idx := c.lay.GlobalNodeIndex(pfn, level)
+			if step(c.lay.GlobalNodeAddr(level, idx)) {
+				break
+			}
+		}
+	}
+	c.pathHist(domain).Observe(pathLen)
+	return lat
+}
+
+// updateLeafNode marks the tree node holding the page's counter hash
+// dirty in the tree cache (fetching it on a miss), modelling the write
+// path's tree update up to the cached level.
+func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot core.SlotID) int {
+	var addr uint64
+	if c.ivc != nil {
+		addr = c.lay.TreeLingNodeAddr(slot.TreeLing(), slot.Node())
+	} else {
+		addr = c.lay.GlobalNodeAddr(1, c.lay.GlobalNodeIndex(pfn, 1))
+	}
+	res := c.treeCache.Access(addr, true)
+	lat := res.Latency
+	if res.EvictedDirty {
+		c.dram.Access(now, res.WritebackAddr, true)
+	}
+	if !res.Hit {
+		lat += c.dram.Access(now, addr, false)
+	}
+	return lat + c.engine.HashLatency()
+}
+
+// functionalVerify checks the real hash chain for pfn.
+func (c *Controller) functionalVerify(pfn uint64, slot core.SlotID) error {
+	snap := c.counters.Snapshot(pfn)
+	if c.forest != nil && slot != core.InvalidSlot {
+		return c.forest.Verify(slot.TreeLing(), slot.Node(), slot.Slot(),
+			tree.CounterBlockHash(pfn, snap))
+	}
+	if c.global != nil {
+		return c.global.Verify(pfn, snap)
+	}
+	return nil
+}
+
+// replayOps charges the metadata-management memory traffic produced by
+// the domain controller (NFL reads/writes, node hash moves, TreeLing
+// initialization). TreeLing-node traffic goes through the tree cache;
+// NFL and PTE traffic goes straight to DRAM (the NFLB is its only cache).
+func (c *Controller) replayOps(now uint64) int {
+	lat := 0
+	for _, op := range c.ops.Ops {
+		if op.Addr >= c.lay.TreeLingBase && op.Addr < c.lay.NFLBase {
+			res := c.treeCache.Access(op.Addr, op.Write)
+			lat += res.Latency
+			if res.EvictedDirty {
+				c.dram.Access(now, res.WritebackAddr, true)
+			}
+			if !res.Hit && !op.NoFetch {
+				lat += c.dram.Access(now, op.Addr, op.Write)
+			}
+			continue
+		}
+		lat += c.dram.Access(now, op.Addr, op.Write)
+	}
+	c.ops.Reset()
+	return lat
+}
+
+// EvictMetadata invalidates a metadata line from the tree cache (the
+// attacker's eviction primitive in the MetaLeak-style attack; see
+// internal/attack). It returns whether the line was present.
+func (c *Controller) EvictMetadata(addr uint64) bool {
+	present, _ := c.treeCache.Invalidate(addr)
+	return present
+}
+
+// FlushMetadata empties the counter, tree and LMM caches (used by tamper
+// tests so the next access re-verifies from memory).
+func (c *Controller) FlushMetadata() {
+	c.counterCache.Flush()
+	c.treeCache.Flush()
+	if c.lmm != nil {
+		c.lmm.Stats().Flush()
+	}
+}
+
+// TLBEvicted must be called by the TLB's eviction hook so the LMM cache
+// stays consistent (Section VI-C2).
+func (c *Controller) TLBEvicted(domain int, vpn uint64) {
+	if c.lmm != nil {
+		c.lmm.Invalidate(domain, vpn)
+	}
+}
+
+// OnPageWalk must be called when a page-table walk completes (TLB miss):
+// the LMM field of the fetched extended PTE is split off and installed in
+// the LMM cache (Section VI-C2), so LLC misses under a TLB hit usually
+// find the leaf ID on-chip. The walk itself is charged by the caller.
+func (c *Controller) OnPageWalk(domain int, vpn uint64) {
+	if c.lmm != nil {
+		c.lmm.Access(domain, vpn, false)
+	}
+}

@@ -1,0 +1,130 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"ivleague/internal/config"
+)
+
+// ErrMACMismatch is returned when a data block fails authentication
+// (spoofing/splicing detected).
+var ErrMACMismatch = errors.New("secmem: MAC mismatch")
+
+// blockState is the off-chip image of one data block in functional mode:
+// its ciphertext and its MAC.
+type blockState struct {
+	ct  [config.BlockBytes]byte
+	mac uint64
+}
+
+// dataMem lazily materializes the functional data plane.
+func (c *Controller) dataMem() map[uint64]*blockState {
+	if c.datamem == nil {
+		c.datamem = make(map[uint64]*blockState)
+	}
+	return c.datamem
+}
+
+// WriteData performs a full secure write: the timing path (counter bump,
+// tree update, posted write) plus the functional path (encrypt the 64-byte
+// plaintext under the fresh counter, store ciphertext and MAC). Requires
+// functional mode.
+func (c *Controller) WriteData(now uint64, domain int, vpn, pfn uint64, block int, plain []byte) (int, error) {
+	if !c.functional {
+		return 0, errors.New("secmem: WriteData requires WithFunctional")
+	}
+	if len(plain) != config.BlockBytes {
+		return 0, fmt.Errorf("secmem: WriteData needs %d bytes", config.BlockBytes)
+	}
+	lat, err := c.Access(now, domain, vpn, pfn, block, true)
+	if err != nil {
+		return 0, err
+	}
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	cnt := c.counters.Counter(pfn, block)
+	st := &blockState{}
+	c.engine.EncryptBlock(st.ct[:], plain, addr, cnt)
+	st.mac = c.engine.MAC(st.ct[:], addr, cnt)
+	c.dataMem()[addr] = st
+	return lat, nil
+}
+
+// ReadData performs a full secure read: the timing path (data + counter
+// fetch, tree verification) plus the functional path (MAC check and
+// decryption). It returns the plaintext. Tampered or replayed memory
+// yields an error.
+func (c *Controller) ReadData(now uint64, domain int, vpn, pfn uint64, block int) ([]byte, int, error) {
+	if !c.functional {
+		return nil, 0, errors.New("secmem: ReadData requires WithFunctional")
+	}
+	lat, err := c.Access(now, domain, vpn, pfn, block, false)
+	if err != nil {
+		return nil, 0, err // integrity-tree violation
+	}
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	st := c.dataMem()[addr]
+	if st == nil {
+		// Never-written memory decrypts to zeros by convention.
+		return make([]byte, config.BlockBytes), lat, nil
+	}
+	cnt := c.counters.Counter(pfn, block)
+	if got := c.engine.MAC(st.ct[:], addr, cnt); got != st.mac {
+		c.TamperEvents.Inc()
+		return nil, 0, fmt.Errorf("%w at %#x", ErrMACMismatch, addr)
+	}
+	plain := make([]byte, config.BlockBytes)
+	c.engine.DecryptBlock(plain, st.ct[:], addr, cnt)
+	return plain, lat, nil
+}
+
+// CorruptData flips a byte of a block's off-chip ciphertext (a physical
+// data-tampering attack); the next ReadData fails its MAC check.
+func (c *Controller) CorruptData(pfn uint64, block int) error {
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	st := c.dataMem()[addr]
+	if st == nil {
+		return fmt.Errorf("secmem: no data at %#x to corrupt", addr)
+	}
+	st.ct[0] ^= 0xff
+	return nil
+}
+
+// BlockSnapshot captures a block's complete off-chip state (ciphertext,
+// MAC and counter block) for a later replay attack.
+type BlockSnapshot struct {
+	pfn   uint64
+	block int
+	st    blockState
+	ctr   ctrSnapshot
+}
+
+type ctrSnapshot struct {
+	major  uint64
+	minors [config.BlocksPerPage]uint8
+}
+
+// SnapshotBlock records the current off-chip state of (pfn, block).
+func (c *Controller) SnapshotBlock(pfn uint64, block int) (*BlockSnapshot, error) {
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	st := c.dataMem()[addr]
+	if st == nil {
+		return nil, fmt.Errorf("secmem: no data at %#x to snapshot", addr)
+	}
+	snap := c.counters.Snapshot(pfn)
+	return &BlockSnapshot{pfn: pfn, block: block, st: *st,
+		ctr: ctrSnapshot{major: snap.Major, minors: snap.Minors}}, nil
+}
+
+// ReplayBlock restores an old (ciphertext, MAC, counter) triple into
+// off-chip memory — the classic replay attack. The stale triple is
+// self-consistent, so the MAC check alone cannot catch it; only the
+// integrity tree (whose root is on-chip) detects the stale counter.
+func (c *Controller) ReplayBlock(s *BlockSnapshot) {
+	addr := s.pfn<<config.PageShift | uint64(s.block)<<config.BlockShift
+	st := *(&s.st)
+	c.dataMem()[addr] = &st
+	blk := c.counters.Get(s.pfn)
+	blk.Major = s.ctr.major
+	blk.Minors = s.ctr.minors
+}

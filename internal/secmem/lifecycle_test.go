@@ -1,0 +1,119 @@
+package secmem
+
+import (
+	"testing"
+
+	"ivleague/internal/config"
+)
+
+// TestDomainLifecycleRecyclesSafely exercises the runtime construction and
+// destruction of IV domains (design requirement i of Section V): TreeLings
+// recycled from a destroyed domain must be reusable by a new domain with
+// no residual integrity state (otherwise cross-domain replay would become
+// possible).
+func TestDomainLifecycleRecyclesSafely(t *testing.T) {
+	cfg := testCfg()
+	c, err := New(&cfg, config.SchemeIvLeagueBasic, 0, WithFunctional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivc := c.IvLeague()
+	free0 := ivc.FreeTreeLings()
+	for gen := 0; gen < 5; gen++ {
+		dom := 10 + gen
+		if err := c.CreateDomain(dom); err != nil {
+			t.Fatal(err)
+		}
+		// Map pages, write secrets, verify.
+		for p := uint64(0); p < 50; p++ {
+			pfn := uint64(gen*50) + p
+			if _, err := c.OnPageMap(0, dom, p, pfn); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 64)
+			buf[0] = byte(gen)
+			if _, err := c.WriteData(0, dom, p, pfn, 0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.FlushMetadata()
+		for p := uint64(0); p < 50; p++ {
+			pfn := uint64(gen*50) + p
+			got, _, err := c.ReadData(0, dom, p, pfn, 0)
+			if err != nil {
+				t.Fatalf("gen %d page %d: %v", gen, p, err)
+			}
+			if got[0] != byte(gen) {
+				t.Fatalf("gen %d page %d: stale data %d", gen, p, got[0])
+			}
+			// Unmap before destroying the domain (OS teardown order).
+			c.OnPageUnmap(0, dom, p, pfn)
+		}
+		if err := c.DestroyDomain(dom); err != nil {
+			t.Fatal(err)
+		}
+		if got := ivc.FreeTreeLings(); got != free0 {
+			t.Fatalf("gen %d: %d TreeLings free, want %d (leak)", gen, got, free0)
+		}
+	}
+}
+
+// TestRecycledTreeLingHasCleanState verifies that a TreeLing recycled to a
+// new domain carries no forest state from its previous owner.
+func TestRecycledTreeLingHasCleanState(t *testing.T) {
+	cfg := testCfg()
+	c, err := New(&cfg, config.SchemeIvLeagueBasic, 0, WithFunctional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CreateDomain(1)
+	if _, err := c.OnPageMap(0, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.WriteData(0, 1, 0, 0, 0, make([]byte, 64))
+	slot1, _ := c.SlotOf(0)
+	tl := slot1.TreeLing()
+	c.OnPageUnmap(0, 1, 0, 0)
+	if err := c.DestroyDomain(1); err != nil {
+		t.Fatal(err)
+	}
+	// The forest must have no residue for that TreeLing.
+	if c.Forest().Root(tl) != 0 {
+		t.Fatal("recycled TreeLing kept a root hash")
+	}
+	// A new domain adopting the same TreeLing starts clean.
+	c.CreateDomain(2)
+	if _, err := c.OnPageMap(0, 2, 9, 9); err != nil {
+		t.Fatal(err)
+	}
+	slot2, _ := c.SlotOf(9)
+	if slot2.TreeLing() != tl {
+		t.Skipf("FIFO handed a different TreeLing (%d), recycling covered elsewhere", slot2.TreeLing())
+	}
+	c.FlushMetadata()
+	if _, err := c.Access(0, 2, 9, 9, 0, false); err != nil {
+		t.Fatalf("fresh domain failed verification on recycled TreeLing: %v", err)
+	}
+}
+
+// TestDynamicRootLockRuns exercises the Section VIII dynamic-locking
+// alternative end to end.
+func TestDynamicRootLockRuns(t *testing.T) {
+	cfg := testCfg()
+	cfg.IvLeague.DynamicRootLock = true
+	c, err := New(&cfg, config.SchemeIvLeaguePro, 0, WithFunctional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CreateDomain(1)
+	if _, err := c.OnPageMap(0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteData(0, 1, 1, 1, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushMetadata()
+	if _, _, err := c.ReadData(0, 1, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

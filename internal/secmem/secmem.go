@@ -1,0 +1,301 @@
+// Package secmem implements the secure memory controller: counter-mode
+// encryption, MAC authentication and tree-based integrity verification over
+// a DRAM timing model, with pluggable metadata schemes — the globally
+// shared Bonsai Merkle Tree baseline, static per-domain tree partitioning,
+// and the three IvLeague variants (plus the BV ablations) built on
+// internal/core.
+//
+// The controller exposes one timing entry point, Access, which models the
+// full secure-memory path of an LLC miss (data fetch, counter fetch and
+// verification walk, metadata-management traffic), and functional entry
+// points used by the tamper-detection tests and examples.
+package secmem
+
+import (
+	"fmt"
+
+	"ivleague/internal/cache"
+	"ivleague/internal/config"
+	"ivleague/internal/core"
+	"ivleague/internal/crypto"
+	"ivleague/internal/ctr"
+	"ivleague/internal/dram"
+	"ivleague/internal/layout"
+	"ivleague/internal/stats"
+	"ivleague/internal/tree"
+)
+
+// Controller is the secure memory controller for one simulated machine.
+// It is not safe for concurrent use; the simulation kernel serializes
+// accesses.
+type Controller struct {
+	cfg        *config.Config
+	scheme     config.Scheme
+	lay        *layout.Layout
+	dram       *dram.Model
+	engine     *crypto.Engine
+	counters   *ctr.Store
+	functional bool
+
+	counterCache *cache.Cache
+	treeCache    *cache.Cache
+
+	// IvLeague state (nil for Baseline/StaticPartition).
+	ivc *core.Controller
+	lmm *core.LMMCache
+
+	// Functional integrity state.
+	global *tree.Global // Baseline & StaticPartition
+	forest *tree.Forest // IvLeague schemes
+
+	// pageSlots is the system's LMM truth: pfn → TreeLing slot. The paper
+	// stores this in extended PTEs; the timing of PTE residency is
+	// modelled through the LMM cache and PTE-region DRAM accesses.
+	pageSlots map[uint64]core.SlotID
+	// pageVPN tracks the inverse mapping the hardware keeps for EPC-style
+	// metadata, needed for out-of-band LMM updates (Pro migration).
+	pageVPN map[uint64]uint64
+
+	// Static partitioning state.
+	partOf    map[int]int // domainID → partition index
+	partCount int
+	partLevel int // tree level at which a partition's subtree roots sit
+
+	ops     core.OpList
+	pathBuf []int
+
+	// Functional data plane (WithFunctional only): ciphertext + MAC per
+	// block address.
+	datamem map[uint64]*blockState
+
+	// Statistics.
+	DataReads     stats.Counter
+	DataWrites    stats.Counter
+	Verifications stats.Counter
+	Overflows     stats.Counter
+	SwapPenalties stats.Counter
+	PathLen       map[int]*stats.Histogram // per-domain verification path
+	TamperEvents  stats.Counter
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithFunctional enables the functional crypto/integrity layer (real
+// hashes and counters maintained and verified on every access). Slower;
+// used by examples and integrity tests.
+func WithFunctional() Option { return func(c *Controller) { c.functional = true } }
+
+// New builds a controller for the given scheme. partitions is only used by
+// SchemeStaticPartition (number of equal partitions the memory and tree
+// are split into).
+func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Option) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lay := layout.New(cfg)
+	c := &Controller{
+		cfg:       cfg,
+		scheme:    scheme,
+		lay:       lay,
+		dram:      dram.New(cfg.DRAM),
+		engine:    crypto.NewEngine(cfg.Crypto, cfg.Sim.Seed),
+		counters:  ctr.NewStore(cfg.SecureMem.MinorBits),
+		pageSlots: make(map[uint64]core.SlotID),
+		pageVPN:   make(map[uint64]uint64),
+		PathLen:   make(map[int]*stats.Histogram),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.counterCache = cache.New(cfg.SecureMem.CounterCache, cfg.Sim.Seed^1, 0)
+	reserved := 0
+	if scheme.IsIvLeague() && !cfg.IvLeague.DynamicRootLock {
+		// Static root locking: way-partition the tree cache for the
+		// levels above the TreeLing roots. With DynamicRootLock only the
+		// live TreeLings' upper nodes are pinned, which fits the normal
+		// ways and frees the reserved region (Section VIII).
+		reserved = cfg.IvLeague.RootLockWays
+	}
+	c.treeCache = cache.New(cfg.SecureMem.TreeCache, cfg.Sim.Seed^2, reserved)
+
+	switch {
+	case scheme.IsIvLeague():
+		if c.functional {
+			c.forest = tree.NewForest(lay)
+		}
+		c.ivc = core.NewController(cfg, lay, ivMode(scheme), c.forest)
+		c.ivc.SetLeafUpdater(leafUpdater{c})
+		c.lmm = core.NewLMMCache(cfg.IvLeague.LMMCache, cfg.Sim.Seed^3)
+	case scheme == config.SchemeStaticPartition:
+		if partitions <= 0 || partitions&(partitions-1) != 0 {
+			return nil, fmt.Errorf("secmem: partition count %d must be a positive power of two", partitions)
+		}
+		c.partCount = partitions
+		c.partOf = make(map[int]int)
+		partPages := lay.Pages / uint64(partitions)
+		lvl := 0
+		cover := uint64(1)
+		for cover < partPages && lvl < lay.GlobalLevels {
+			cover *= uint64(lay.Arity)
+			lvl++
+		}
+		c.partLevel = lvl
+		if c.functional {
+			c.global = tree.NewGlobal(lay)
+		}
+	default: // Baseline
+		if c.functional {
+			c.global = tree.NewGlobal(lay)
+		}
+	}
+	return c, nil
+}
+
+func ivMode(s config.Scheme) core.Mode {
+	switch s {
+	case config.SchemeIvLeagueBasic:
+		return core.ModeBasic
+	case config.SchemeIvLeagueInvert:
+		return core.ModeInvert
+	case config.SchemeIvLeaguePro:
+		return core.ModePro
+	case config.SchemeBVv1:
+		return core.ModeBVv1
+	case config.SchemeBVv2:
+		return core.ModeBVv2
+	default:
+		panic("secmem: not an IvLeague scheme")
+	}
+}
+
+// leafUpdater routes out-of-band LMM updates (Pro migrations) back into
+// the controller's page-slot table and LMM cache.
+type leafUpdater struct{ c *Controller }
+
+// UpdateLeaf implements core.LeafUpdater.
+func (u leafUpdater) UpdateLeaf(domainID int, pfn uint64, slot core.SlotID) {
+	u.c.pageSlots[pfn] = slot
+	if vpn, ok := u.c.pageVPN[pfn]; ok {
+		u.c.lmm.Access(domainID, vpn, true)
+	}
+}
+
+// Scheme returns the controller's scheme.
+func (c *Controller) Scheme() config.Scheme { return c.scheme }
+
+// Layout exposes the address map (used by the attack module and tests).
+func (c *Controller) Layout() *layout.Layout { return c.lay }
+
+// DRAM exposes the memory model's statistics.
+func (c *Controller) DRAM() *dram.Model { return c.dram }
+
+// TreeCache exposes the integrity-tree metadata cache (attack module).
+func (c *Controller) TreeCache() *cache.Cache { return c.treeCache }
+
+// CounterCache exposes the encryption-counter cache.
+func (c *Controller) CounterCache() *cache.Cache { return c.counterCache }
+
+// IvLeague returns the domain controller, or nil for non-IvLeague schemes.
+func (c *Controller) IvLeague() *core.Controller { return c.ivc }
+
+// LMM returns the LMM cache, or nil for non-IvLeague schemes.
+func (c *Controller) LMM() *core.LMMCache { return c.lmm }
+
+// Counters exposes the functional counter store.
+func (c *Controller) Counters() *ctr.Store { return c.counters }
+
+// GlobalTree returns the functional global tree (Baseline/StaticPartition,
+// functional mode only).
+func (c *Controller) GlobalTree() *tree.Global { return c.global }
+
+// Forest returns the functional TreeLing forest (IvLeague, functional
+// mode only).
+func (c *Controller) Forest() *tree.Forest { return c.forest }
+
+// SlotOf returns the current TreeLing slot verifying pfn (IvLeague only).
+func (c *Controller) SlotOf(pfn uint64) (core.SlotID, bool) {
+	s, ok := c.pageSlots[pfn]
+	return s, ok
+}
+
+// CreateDomain registers a new IV domain with the scheme.
+func (c *Controller) CreateDomain(id int) error {
+	switch {
+	case c.ivc != nil:
+		_, err := c.ivc.CreateDomain(id)
+		return err
+	case c.scheme == config.SchemeStaticPartition:
+		if _, ok := c.partOf[id]; ok {
+			return fmt.Errorf("secmem: domain %d exists", id)
+		}
+		if len(c.partOf) >= c.partCount {
+			return fmt.Errorf("secmem: all %d static partitions in use", c.partCount)
+		}
+		c.partOf[id] = len(c.partOf)
+		return nil
+	default:
+		return nil // Baseline: domains share everything
+	}
+}
+
+// DestroyDomain releases a domain's metadata.
+func (c *Controller) DestroyDomain(id int) error {
+	switch {
+	case c.ivc != nil:
+		c.ops.Reset()
+		err := c.ivc.DestroyDomain(id, &c.ops)
+		c.replayOps(0)
+		return err
+	case c.scheme == config.SchemeStaticPartition:
+		delete(c.partOf, id)
+		return nil
+	default:
+		return nil
+	}
+}
+
+// PartitionRange returns the frame range [lo, hi) a domain may use under
+// static partitioning; under other schemes it returns the whole memory.
+func (c *Controller) PartitionRange(domainID int) (lo, hi uint64) {
+	if c.scheme != config.SchemeStaticPartition {
+		return 0, c.lay.Pages
+	}
+	p, ok := c.partOf[domainID]
+	if !ok {
+		return 0, 0
+	}
+	size := c.lay.Pages / uint64(c.partCount)
+	return uint64(p) * size, uint64(p+1) * size
+}
+
+// pathHist returns the per-domain verification path histogram.
+func (c *Controller) pathHist(domain int) *stats.Histogram {
+	h := c.PathLen[domain]
+	if h == nil {
+		h = stats.NewHistogram(16)
+		c.PathLen[domain] = h
+	}
+	return h
+}
+
+// MemAccesses returns the total DRAM transactions so far (data +
+// metadata), the Figure 19 metric.
+func (c *Controller) MemAccesses() uint64 { return c.dram.Accesses() }
+
+// ResetStats clears statistics (end of warmup) without touching state.
+func (c *Controller) ResetStats() {
+	c.dram.ResetStats()
+	c.counterCache.ResetStats()
+	c.treeCache.ResetStats()
+	if c.lmm != nil {
+		c.lmm.Stats().ResetStats()
+	}
+	c.DataReads.Reset()
+	c.DataWrites.Reset()
+	c.Verifications.Reset()
+	c.Overflows.Reset()
+	c.SwapPenalties.Reset()
+	c.TamperEvents.Reset()
+	c.PathLen = make(map[int]*stats.Histogram)
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"ivleague/internal/config"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Sim.WarmupInstr = 5_000
+	cfg.Sim.MeasureIntr = 20_000
+	mix := smallMix(t)
+
+	// Record a run.
+	m, err := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := m.RecordTrace(&buf)
+	res := m.Run()
+	if res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() == 0 {
+		t.Fatal("no records captured")
+	}
+
+	// Replay the same accesses under a different scheme.
+	rep, err := ReplayMix(&cfg, config.SchemeIvLeaguePro, mix, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatal(rep.FailMsg)
+	}
+	if rep.MemAccesses == 0 || rep.Verification == 0 {
+		t.Fatal("replay produced no memory traffic")
+	}
+	if rep.Utilization < 0.99 {
+		t.Fatalf("replay utilization %v", rep.Utilization)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Sim.WarmupInstr = 2_000
+	cfg.Sim.MeasureIntr = 10_000
+	mix := smallMix(t)
+	m, _ := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
+	var buf bytes.Buffer
+	w := m.RecordTrace(&buf)
+	m.Run()
+	w.Flush()
+	raw := buf.Bytes()
+
+	a, err := ReplayMix(&cfg, config.SchemeIvLeagueBasic, mix, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayMix(&cfg, config.SchemeIvLeagueBasic, mix, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MemAccesses != b.MemAccesses || a.Verification != b.Verification {
+		t.Fatal("replay not deterministic")
+	}
+}
+
+func TestReplayEmptyTraceFails(t *testing.T) {
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	m, _ := NewMachine(&cfg, config.SchemeBaseline, smallMix(t), 0)
+	w := m.RecordTrace(&buf)
+	w.Flush() // header only, no records
+	if _, err := ReplayMix(&cfg, config.SchemeBaseline, smallMix(t), &buf); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

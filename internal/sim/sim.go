@@ -1,0 +1,450 @@
+// Package sim is the cycle-accounting simulation kernel: it instantiates a
+// machine (cores with private L1/L2 and TLBs, a shared randomized LLC, the
+// secure memory controller, the OS model) and replays the synthetic
+// workload generators through it, producing per-core IPC and the metadata
+// statistics the paper's figures report.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"ivleague/internal/cache"
+	"ivleague/internal/config"
+	"ivleague/internal/osmodel"
+	"ivleague/internal/pagetable"
+	"ivleague/internal/secmem"
+	"ivleague/internal/trace"
+	"ivleague/internal/workload"
+)
+
+// EventSource supplies a thread's instruction stream. The synthetic
+// workload generators implement it; trace replay provides an alternative
+// implementation (see ReplayMix).
+type EventSource interface {
+	Next() workload.Event
+	InitInstr() uint64
+}
+
+// owner records which (domain, vpn) a physical frame belongs to, so LLC
+// dirty writebacks can be attributed for the secure write path.
+type owner struct {
+	domain int
+	vpn    uint64
+}
+
+// thread is one hardware context: an event source bound to a process and
+// core.
+type thread struct {
+	gen     EventSource
+	proc    *osmodel.Process
+	core    int
+	bench   string
+	tlb     *pagetable.TLB
+	l1, l2  *cache.Cache
+	cycles  float64
+	instret uint64
+	// snapshots at the warmup boundary
+	cycles0  float64
+	instret0 uint64
+}
+
+// Machine is a configured simulated system running one workload mix.
+type Machine struct {
+	cfg     *config.Config
+	scheme  config.Scheme
+	mem     *secmem.Controller
+	l3      *cache.Cache
+	threads []*thread
+	frames  *osmodel.FrameAllocator
+	domFr   map[int]*osmodel.FrameAllocator // static partitioning
+	over    *osmodel.FrameAllocator         // static overflow (swapped)
+	owners  map[uint64]owner
+
+	pendingLat int
+	pendingErr error
+
+	failed  bool
+	failMsg string
+
+	// TraceWriter, when set before Run, records every generated memory
+	// access (internal/trace format). Set with RecordTrace.
+	traceW *trace.Writer
+
+	// Cycle decomposition (diagnostics): where simulated time goes.
+	CycBase, CycTLB, CycFault, CycMiss, CycWb float64
+}
+
+// wbChargeFraction is the share of the secure write-back path latency
+// charged to the evicting core (write-buffer backpressure); the rest is
+// posted.
+const wbChargeFraction = 0.05
+
+// NewMachine builds a machine running the given mix under the scheme.
+// partitions configures SchemeStaticPartition (ignored otherwise; 0 picks
+// one partition per process).
+func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, partitions int) (*Machine, error) {
+	if partitions <= 0 {
+		partitions = 1
+		for partitions < len(mix.Procs) {
+			partitions <<= 1
+		}
+	}
+	mem, err := secmem.New(cfg, scheme, partitions)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		scheme: scheme,
+		mem:    mem,
+		l3:     cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0),
+		owners: make(map[uint64]owner),
+	}
+	lay := mem.Layout()
+	if scheme == config.SchemeStaticPartition {
+		m.domFr = make(map[int]*osmodel.FrameAllocator)
+		// Frames beyond all partitions (none by construction): overflow
+		// shares the last partition tail; swaps are charged by secmem.
+		m.over = osmodel.NewFrameAllocator(0, lay.Pages)
+	} else {
+		m.frames = osmodel.NewFrameAllocator(0, lay.Pages)
+	}
+
+	coreIdx := 0
+	for pi, prof := range mix.Procs {
+		domain := pi + 1
+		if err := mem.CreateDomain(domain); err != nil {
+			return nil, err
+		}
+		var fr *osmodel.FrameAllocator
+		if scheme == config.SchemeStaticPartition {
+			lo, hi := mem.PartitionRange(domain)
+			fr = osmodel.NewFrameAllocator(lo, hi)
+			m.domFr[domain] = fr
+		} else {
+			fr = m.frames
+		}
+		levels := pagetable.ClassicLevels
+		if scheme.IsIvLeague() {
+			levels = pagetable.IvLeagueLevels
+		}
+		proc := osmodel.NewProcess(pi+1, domain, fr, levels)
+		proc.OnPageMap = m.onPageMap
+		proc.OnPageUnmap = m.onPageUnmap
+		for ti := 0; ti < prof.Threads; ti++ {
+			if coreIdx >= cfg.Core.Count {
+				return nil, fmt.Errorf("sim: mix %s needs more than %d cores", mix.Name, cfg.Core.Count)
+			}
+			gen := workload.NewGenerator(prof, cfg.Sim.Seed^uint64(domain)<<8, ti,
+				workload.GenOpts{Scale: cfg.Sim.FootprintScale, InitFrac: cfg.Sim.InitFrac})
+			t := &thread{
+				gen:   gen,
+				proc:  proc,
+				core:  coreIdx,
+				bench: prof.Name,
+				tlb:   pagetable.NewTLB(cfg.Core.TLBEntries, 8),
+				l1:    cache.New(cfg.L1, cfg.Sim.Seed^uint64(coreIdx)<<16, 0),
+				l2:    cache.New(cfg.L2, cfg.Sim.Seed^uint64(coreIdx)<<24, 0),
+			}
+			dom := domain
+			t.tlb.OnEvict = func(vpn uint64) { mem.TLBEvicted(dom, vpn) }
+			gen.OnFreeRange = func(vpnStart uint64, n int) {
+				for v := vpnStart; v < vpnStart+uint64(n); v++ {
+					if t.proc.Unmap(v) {
+						t.tlb.Invalidate(v)
+					}
+				}
+			}
+			m.threads = append(m.threads, t)
+			coreIdx++
+		}
+	}
+	return m, nil
+}
+
+func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
+	m.owners[pfn] = owner{domain: domain, vpn: vpn}
+	lat, err := m.mem.OnPageMap(m.now(), domain, vpn, pfn)
+	m.pendingLat += lat
+	if err != nil {
+		m.pendingErr = err
+	}
+}
+
+func (m *Machine) onPageUnmap(domain int, vpn, pfn uint64) {
+	m.pendingLat += m.mem.OnPageUnmap(m.now(), domain, vpn, pfn)
+	delete(m.owners, pfn)
+}
+
+// now approximates global time as the max per-thread cycle count.
+func (m *Machine) now() uint64 {
+	var max float64
+	for _, t := range m.threads {
+		if t.cycles > max {
+			max = t.cycles
+		}
+	}
+	return uint64(max)
+}
+
+// RecordTrace streams every memory access of the run to w in the
+// internal/trace format. Call before Run; call Flush on the writer after.
+func (m *Machine) RecordTrace(w io.Writer) *trace.Writer {
+	m.traceW = trace.NewWriter(w)
+	return m.traceW
+}
+
+// step advances one thread by one instruction.
+func (m *Machine) step(t *thread) error {
+	ev := t.gen.Next()
+	t.instret++
+	cc := m.cfg.Core
+	if !ev.Mem {
+		t.cycles += cc.BaseCPI
+		m.CycBase += cc.BaseCPI
+		return nil
+	}
+	if m.traceW != nil {
+		if err := m.traceW.Append(trace.Record{
+			Thread: t.core, VPN: ev.VPN, Block: uint8(ev.Block), Write: ev.Write,
+		}); err != nil {
+			return fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	// Translation.
+	pfn, hit := t.tlb.Lookup(ev.VPN)
+	if !hit {
+		p, fault, err := t.proc.Touch(ev.VPN)
+		if err != nil {
+			return fmt.Errorf("sim: %s: %w", t.bench, err)
+		}
+		if m.pendingErr != nil {
+			err := m.pendingErr
+			m.pendingErr = nil
+			return fmt.Errorf("sim: %s: %w", t.bench, err)
+		}
+		t.tlb.Insert(ev.VPN, p)
+		m.mem.OnPageWalk(t.proc.DomainID, ev.VPN)
+		t.cycles += float64(cc.TLBPenality + t.proc.Table.Depth()*cc.PTWalkCost)
+		m.CycTLB += float64(cc.TLBPenality + t.proc.Table.Depth()*cc.PTWalkCost)
+		if fault {
+			t.cycles += float64(m.pendingLat)
+			m.CycFault += float64(m.pendingLat)
+		}
+		m.pendingLat = 0
+		pfn = p
+	}
+	addr := pfn<<config.PageShift | uint64(ev.Block)<<config.BlockShift
+	dom := t.proc.DomainID
+
+	// Cache hierarchy. Stores are write-allocate: a miss fetches the line
+	// (read path); dirty data reaches the secure write path on eviction.
+	r1 := t.l1.Access(addr, ev.Write)
+	if r1.EvictedDirty {
+		m.writeback(t, t.l2, r1.WritebackAddr)
+	}
+	if r1.Hit {
+		t.cycles += float64(cc.L1Latency)
+		m.CycBase += float64(cc.L1Latency)
+		return nil
+	}
+	r2 := t.l2.Access(addr, false)
+	if r2.EvictedDirty {
+		m.writeback(t, m.l3, r2.WritebackAddr)
+	}
+	var missLat float64
+	if r2.Hit {
+		missLat = float64(cc.L2Latency)
+	} else {
+		r3 := m.l3.Access(addr, false)
+		if r3.EvictedDirty {
+			m.memWriteback(t, r3.WritebackAddr)
+		}
+		if r3.Hit {
+			missLat = float64(cc.L3Latency)
+		} else {
+			lat, err := m.mem.Access(uint64(t.cycles), dom, ev.VPN, pfn, ev.Block, false)
+			if err != nil {
+				return fmt.Errorf("sim: %s: %w", t.bench, err)
+			}
+			missLat = float64(cc.L3Latency) + float64(lat)
+		}
+	}
+	t.cycles += float64(cc.L1Latency) + (1-cc.MLP)*missLat
+	m.CycBase += float64(cc.L1Latency)
+	m.CycMiss += (1 - cc.MLP) * missLat
+	return nil
+}
+
+// writeback pushes a dirty line one level down the hierarchy.
+func (m *Machine) writeback(t *thread, lower *cache.Cache, addr uint64) {
+	r := lower.Access(addr, true)
+	if !r.EvictedDirty {
+		return
+	}
+	if lower == m.l3 {
+		m.memWriteback(t, r.WritebackAddr)
+		return
+	}
+	// L2 victim falls into the LLC.
+	r3 := m.l3.Access(r.WritebackAddr, true)
+	if r3.EvictedDirty {
+		m.memWriteback(t, r3.WritebackAddr)
+	}
+}
+
+// memWriteback sends an LLC dirty victim through the secure write path.
+func (m *Machine) memWriteback(t *thread, addr uint64) {
+	pfn := addr >> config.PageShift
+	o, ok := m.owners[pfn]
+	if !ok {
+		return // the page was freed; drop the stale line
+	}
+	block := int(addr>>config.BlockShift) & (config.BlocksPerPage - 1)
+	lat, err := m.mem.Access(uint64(t.cycles), o.domain, o.vpn, pfn, block, true)
+	if err == nil {
+		t.cycles += wbChargeFraction * float64(lat)
+		m.CycWb += wbChargeFraction * float64(lat)
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Scheme  config.Scheme
+	Failed  bool
+	FailMsg string
+	// Per-thread outcomes, index-aligned with the mix's thread order.
+	Bench []string
+	IPC   []float64
+	// Aggregate metadata statistics (measured phase).
+	MemAccesses  uint64
+	PathLenMean  map[string]float64 // per benchmark
+	NFLBHitRate  float64
+	LMMHitRate   float64
+	Utilization  float64
+	Untracked    int
+	TreeHitRate  float64
+	CtrHitRate   float64
+	L3MissRate   float64
+	Swaps        uint64
+	DRAMReadLat  float64
+	Verification uint64
+}
+
+// Mem exposes the machine's secure memory controller.
+func (m *Machine) Mem() *secmem.Controller { return m.mem }
+
+// Run executes warmup + measurement and returns the result. A scheme
+// failure (TreeLing starvation under BV-v1, OOM) marks the run failed, as
+// in Figure 17a.
+func (m *Machine) Run() Result {
+	res := Result{Scheme: m.scheme, PathLenMean: make(map[string]float64)}
+	// The warmup window must cover every thread's initialization sweep.
+	warm := m.cfg.Sim.WarmupInstr
+	for _, t := range m.threads {
+		if need := t.gen.InitInstr() + m.cfg.Sim.WarmupInstr/2; need > warm {
+			warm = need
+		}
+	}
+	total := warm + m.cfg.Sim.MeasureIntr
+	for i := uint64(0); i < total && !m.failed; i++ {
+		if i == warm {
+			m.resetStats()
+		}
+		for _, t := range m.threads {
+			if err := m.step(t); err != nil {
+				m.failed = true
+				m.failMsg = err.Error()
+				break
+			}
+		}
+	}
+	res.Failed = m.failed
+	res.FailMsg = m.failMsg
+	for _, t := range m.threads {
+		res.Bench = append(res.Bench, t.bench)
+		dc := t.cycles - t.cycles0
+		di := t.instret - t.instret0
+		if dc > 0 {
+			res.IPC = append(res.IPC, float64(di)/dc)
+		} else {
+			res.IPC = append(res.IPC, 0)
+		}
+	}
+	res.MemAccesses = m.mem.MemAccesses()
+	res.DRAMReadLat = m.mem.DRAM().MeanReadLatency()
+	res.Verification = m.mem.Verifications.Value()
+	res.Swaps = m.mem.SwapPenalties.Value()
+	res.TreeHitRate = m.mem.TreeCache().HitRate()
+	res.CtrHitRate = m.mem.CounterCache().HitRate()
+	res.L3MissRate = 1 - m.l3.HitRate()
+	// Per-benchmark verification path length (domains map 1:1 to procs).
+	seen := map[string]bool{}
+	for _, t := range m.threads {
+		if seen[t.bench] {
+			continue
+		}
+		seen[t.bench] = true
+		if h := m.mem.PathLen[t.proc.DomainID]; h != nil {
+			res.PathLenMean[t.bench] = h.Mean()
+		}
+	}
+	if ivc := m.mem.IvLeague(); ivc != nil {
+		hits, misses := uint64(0), uint64(0)
+		for _, t := range m.threads {
+			b := ivc.NFLBOf(t.proc.DomainID)
+			if b == nil {
+				continue
+			}
+			hits += b.Hits.Value()
+			misses += b.Misses.Value()
+		}
+		if hits+misses > 0 {
+			res.NFLBHitRate = float64(hits) / float64(hits+misses)
+		}
+		res.Utilization, res.Untracked = ivc.Utilization()
+		res.LMMHitRate = m.mem.LMM().HitRate()
+	}
+	return res
+}
+
+func (m *Machine) resetStats() {
+	m.mem.ResetStats()
+	m.l3.ResetStats()
+	for _, t := range m.threads {
+		t.l1.ResetStats()
+		t.l2.ResetStats()
+		t.cycles0 = t.cycles
+		t.instret0 = t.instret
+	}
+}
+
+// RunMix is the one-call entry: build a machine for (cfg, scheme, mix) and
+// run it.
+func RunMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix) Result {
+	m, err := NewMachine(cfg, scheme, mix, 0)
+	if err != nil {
+		return Result{Scheme: scheme, Failed: true, FailMsg: err.Error()}
+	}
+	return m.Run()
+}
+
+// RunAlone runs a single benchmark by itself (for weighted-IPC baselines)
+// under the given scheme and returns its mean per-thread IPC.
+func RunAlone(cfg *config.Config, scheme config.Scheme, prof workload.Profile) (float64, error) {
+	mix := workload.Mix{Name: "alone-" + prof.Name, Procs: []workload.Profile{prof}}
+	m, err := NewMachine(cfg, scheme, mix, 0)
+	if err != nil {
+		return 0, err
+	}
+	res := m.Run()
+	if res.Failed {
+		return 0, fmt.Errorf("sim: alone run failed: %s", res.FailMsg)
+	}
+	sum := 0.0
+	for _, v := range res.IPC {
+		sum += v
+	}
+	return sum / float64(len(res.IPC)), nil
+}

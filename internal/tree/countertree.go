@@ -1,0 +1,152 @@
+package tree
+
+import (
+	"fmt"
+
+	"ivleague/internal/crypto"
+	"ivleague/internal/layout"
+)
+
+// CounterTree is the alternative integrity-tree design of Section II-B: a
+// tree of counters (as in Intel SGX's MEE and VAULT) rather than a tree
+// of hashes. Each node holds per-child version counters plus an embedded
+// MAC computed over those counters and the node's own version, which is a
+// counter slot in its parent. A node's MAC therefore binds it to the
+// parent chain up to the on-chip root version.
+//
+// The substrate exists to demonstrate that TreeLing isolation is
+// independent of the tree flavor: IvLeague carves subtrees out of either
+// a hash BMT (tree.Global/Forest) or this counter tree — the paper's
+// design argument in Section VIII ("same arity and hash size
+// configuration as in the global integrity tree").
+type CounterTree struct {
+	lay *layout.Layout
+	// versions[level<<56|idx] holds a node's per-slot counters.
+	nodes map[uint64][]uint64
+	macs  map[uint64]uint64
+	// rootVersion is the on-chip monotonic root counter.
+	rootVersion uint64
+	key         uint64
+}
+
+// NewCounterTree creates an SGX-MEE-style counter tree over the layout's
+// page space.
+func NewCounterTree(lay *layout.Layout, key uint64) *CounterTree {
+	return &CounterTree{
+		lay:   lay,
+		nodes: make(map[uint64][]uint64),
+		macs:  make(map[uint64]uint64),
+		key:   key,
+	}
+}
+
+func (t *CounterTree) slots(level int, idx uint64) []uint64 {
+	k := globalKey(level, idx)
+	n := t.nodes[k]
+	if n == nil {
+		n = make([]uint64, t.lay.Arity)
+		t.nodes[k] = n
+	}
+	return n
+}
+
+// nodeMAC computes the embedded MAC of node (level, idx): keyed over its
+// counters and its own version (its slot in the parent, or the on-chip
+// root version at the top).
+func (t *CounterTree) nodeMAC(level int, idx uint64) uint64 {
+	slots := t.slots(level, idx)
+	parts := make([]uint64, 0, len(slots)+3)
+	parts = append(parts, t.key, uint64(level)<<40|idx, t.version(level, idx))
+	parts = append(parts, slots...)
+	return crypto.NodeHash(parts...)
+}
+
+// version returns the node's version counter: its slot in the parent
+// node, or the on-chip root version for the top node.
+func (t *CounterTree) version(level int, idx uint64) uint64 {
+	if level == t.lay.GlobalLevels {
+		return t.rootVersion
+	}
+	parent := idx / uint64(t.lay.Arity)
+	slot := int(idx % uint64(t.lay.Arity))
+	return t.slots(level+1, parent)[slot]
+}
+
+// Bump increments page pfn's version counter (a data write): every
+// counter on the path to the root is incremented and every MAC on the
+// path is refreshed, ending in the on-chip root version.
+func (t *CounterTree) Bump(pfn uint64) {
+	idx := pfn
+	for level := 1; level <= t.lay.GlobalLevels; level++ {
+		parent := idx / uint64(t.lay.Arity)
+		slot := int(idx % uint64(t.lay.Arity))
+		t.slots(level, parent)[slot]++
+		idx = parent
+	}
+	t.rootVersion++
+	// Refresh MACs bottom-up (the version of every path node changed).
+	idx = pfn / uint64(t.lay.Arity)
+	for level := 1; level <= t.lay.GlobalLevels; level++ {
+		t.macs[globalKey(level, idx)] = t.nodeMAC(level, idx)
+		idx /= uint64(t.lay.Arity)
+	}
+}
+
+// PageVersion returns pfn's current version counter (the value that seeds
+// its data encryption/MAC in a full design).
+func (t *CounterTree) PageVersion(pfn uint64) uint64 {
+	return t.slots(1, pfn/uint64(t.lay.Arity))[pfn%uint64(t.lay.Arity)]
+}
+
+// Verify walks pfn's path from leaf to root checking every embedded MAC
+// against the recomputed value; the top node's MAC depends on the on-chip
+// root version, so a replayed (stale) subtree cannot verify.
+func (t *CounterTree) Verify(pfn uint64) error {
+	idx := pfn / uint64(t.lay.Arity)
+	for level := 1; level <= t.lay.GlobalLevels; level++ {
+		k := globalKey(level, idx)
+		stored, ok := t.macs[k]
+		if !ok {
+			// Never-written subtrees verify as all-zero.
+			if t.version(level, idx) == 0 && allZero(t.slots(level, idx)) {
+				idx /= uint64(t.lay.Arity)
+				continue
+			}
+			return fmt.Errorf("tree: counter-tree node %d/%d has no MAC", level, idx)
+		}
+		if stored != t.nodeMAC(level, idx) {
+			return fmt.Errorf("tree: counter-tree MAC mismatch at level %d node %d (pfn %d)", level, idx, pfn)
+		}
+		idx /= uint64(t.lay.Arity)
+	}
+	return nil
+}
+
+func allZero(vs []uint64) bool {
+	for _, v := range vs {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CorruptCounter overwrites a stored counter (physical tamper).
+func (t *CounterTree) CorruptCounter(level int, idx uint64, slot int, v uint64) {
+	t.slots(level, idx)[slot] = v
+}
+
+// SnapshotNode captures one node's counters and MAC for a replay attack.
+func (t *CounterTree) SnapshotNode(level int, idx uint64) (counters []uint64, mac uint64) {
+	return append([]uint64(nil), t.slots(level, idx)...), t.macs[globalKey(level, idx)]
+}
+
+// ReplayNode restores a stale (counters, MAC) pair into memory — the
+// attack the root version defeats.
+func (t *CounterTree) ReplayNode(level int, idx uint64, counters []uint64, mac uint64) {
+	copy(t.slots(level, idx), counters)
+	t.macs[globalKey(level, idx)] = mac
+}
+
+// RootVersion exposes the on-chip root counter.
+func (t *CounterTree) RootVersion() uint64 { return t.rootVersion }

@@ -1,0 +1,248 @@
+// Package tree implements the functional integrity-tree substrate: a
+// slotted hash store, the global Bonsai Merkle Tree used by the Baseline
+// scheme, and the hash forest the IvLeague TreeLings live in.
+//
+// The functional layer maintains real (non-cryptographic but strongly
+// mixing) hashes so that tamper-detection semantics can be tested
+// end-to-end; the performance simulator charges tree-walk *timing* through
+// the cache/DRAM models and only touches this layer when functional mode
+// is enabled.
+package tree
+
+import (
+	"fmt"
+
+	"ivleague/internal/crypto"
+	"ivleague/internal/ctr"
+	"ivleague/internal/layout"
+)
+
+// SlotStore is a sparse map from node key to the node's hash slots. Keys
+// are caller-defined (the global tree and the TreeLing forest use different
+// encodings). Absent nodes read as all-zero slots.
+type SlotStore struct {
+	arity int
+	nodes map[uint64][]uint64
+}
+
+// NewSlotStore creates a store for nodes with the given arity.
+func NewSlotStore(arity int) *SlotStore {
+	return &SlotStore{arity: arity, nodes: make(map[uint64][]uint64)}
+}
+
+// Arity returns the number of slots per node.
+func (s *SlotStore) Arity() int { return s.arity }
+
+// Slot returns the hash in (key, slot); zero if never set.
+func (s *SlotStore) Slot(key uint64, slot int) uint64 {
+	n := s.nodes[key]
+	if n == nil {
+		return 0
+	}
+	return n[slot]
+}
+
+// SetSlot stores a hash into (key, slot).
+func (s *SlotStore) SetSlot(key uint64, slot int, h uint64) {
+	n := s.nodes[key]
+	if n == nil {
+		n = make([]uint64, s.arity)
+		s.nodes[key] = n
+	}
+	n[slot] = h
+}
+
+// NodeHash returns the hash of the whole node (over all its slots).
+func (s *SlotStore) NodeHash(key uint64) uint64 {
+	n := s.nodes[key]
+	if n == nil {
+		n = zeroSlots(s.arity)
+	}
+	return crypto.NodeHash(n...)
+}
+
+// Drop removes a node entirely.
+func (s *SlotStore) Drop(key uint64) { delete(s.nodes, key) }
+
+// Len returns the number of materialized nodes.
+func (s *SlotStore) Len() int { return len(s.nodes) }
+
+var zeroCache = map[int][]uint64{}
+
+func zeroSlots(a int) []uint64 {
+	if z, ok := zeroCache[a]; ok {
+		return z
+	}
+	z := make([]uint64, a)
+	zeroCache[a] = z
+	return z
+}
+
+// CounterBlockHash hashes a counter block's contents together with its
+// page frame number (binding position, preventing splicing).
+func CounterBlockHash(pfn uint64, b ctr.Block) uint64 {
+	parts := make([]uint64, 0, 2+len(b.Minors)/8)
+	parts = append(parts, pfn, b.Major)
+	var acc uint64
+	for i, m := range b.Minors {
+		acc = acc<<8 | uint64(m)
+		if i%8 == 7 {
+			parts = append(parts, acc)
+			acc = 0
+		}
+	}
+	return crypto.NodeHash(parts...)
+}
+
+// Global is the functional global Bonsai Merkle Tree of the Baseline
+// scheme: statically addressed, built over every page's counter block,
+// with the single root held on-chip.
+type Global struct {
+	lay   *layout.Layout
+	store *SlotStore
+	root  uint64 // on-chip root hash
+}
+
+// NewGlobal creates the functional global tree for a layout.
+func NewGlobal(lay *layout.Layout) *Global {
+	g := &Global{lay: lay, store: NewSlotStore(lay.Arity)}
+	g.root = g.levelNodeHash(g.lay.GlobalLevels, 0)
+	return g
+}
+
+func globalKey(level int, idx uint64) uint64 {
+	return uint64(level)<<56 | idx
+}
+
+func (g *Global) levelNodeHash(level int, idx uint64) uint64 {
+	return g.store.NodeHash(globalKey(level, idx))
+}
+
+// Update recomputes the verification path of page pfn after its counter
+// block changed, ending with a new on-chip root.
+func (g *Global) Update(pfn uint64, blk ctr.Block) {
+	h := CounterBlockHash(pfn, blk)
+	idx := pfn
+	for level := 1; level <= g.lay.GlobalLevels; level++ {
+		slot := int(idx % uint64(g.lay.Arity))
+		idx /= uint64(g.lay.Arity)
+		key := globalKey(level, idx)
+		g.store.SetSlot(key, slot, h)
+		h = g.store.NodeHash(key)
+	}
+	g.root = h
+}
+
+// Verify walks page pfn's path from leaf to root and reports whether every
+// link matches, i.e. whether the counter block (and hence the data it
+// authenticates) is fresh and untampered.
+func (g *Global) Verify(pfn uint64, blk ctr.Block) error {
+	h := CounterBlockHash(pfn, blk)
+	idx := pfn
+	for level := 1; level <= g.lay.GlobalLevels; level++ {
+		slot := int(idx % uint64(g.lay.Arity))
+		idx /= uint64(g.lay.Arity)
+		key := globalKey(level, idx)
+		if got := g.store.Slot(key, slot); got != h {
+			return fmt.Errorf("tree: integrity violation at level %d node %d slot %d (pfn %d)", level, idx, slot, pfn)
+		}
+		h = g.store.NodeHash(key)
+	}
+	if h != g.root {
+		return fmt.Errorf("tree: root mismatch for pfn %d", pfn)
+	}
+	return nil
+}
+
+// Root returns the on-chip root hash.
+func (g *Global) Root() uint64 { return g.root }
+
+// Corrupt overwrites the stored hash at (level, idx, slot) — a physical
+// tamper/replay used by tests and the tamper-detection example.
+func (g *Global) Corrupt(level int, idx uint64, slot int, v uint64) {
+	g.store.SetSlot(globalKey(level, idx), slot, v)
+}
+
+// Forest is the functional hash storage for the TreeLing forest. Node keys
+// combine TreeLing ID and top-down node index; per-TreeLing roots are kept
+// "on-chip" (a root table indexed by TreeLing), which is what isolates the
+// TreeLings from each other.
+type Forest struct {
+	lay   *layout.Layout
+	store *SlotStore
+	roots map[int]uint64 // on-chip TreeLing root hashes
+}
+
+// NewForest creates the functional forest for a layout.
+func NewForest(lay *layout.Layout) *Forest {
+	return &Forest{lay: lay, store: NewSlotStore(lay.Arity), roots: make(map[int]uint64)}
+}
+
+// Key encodes a forest node key.
+func Key(tl, nodeIdx int) uint64 { return uint64(tl)<<24 | uint64(nodeIdx) }
+
+// Slot returns the hash stored in a TreeLing node slot.
+func (f *Forest) Slot(tl, nodeIdx, slot int) uint64 {
+	return f.store.Slot(Key(tl, nodeIdx), slot)
+}
+
+// SetSlot stores a hash into a TreeLing node slot and recomputes the path
+// from that node to the TreeLing root, refreshing the on-chip root.
+func (f *Forest) SetSlot(tl, nodeIdx, slot int, h uint64) {
+	f.store.SetSlot(Key(tl, nodeIdx), slot, h)
+	f.rehash(tl, nodeIdx)
+}
+
+func (f *Forest) rehash(tl, nodeIdx int) {
+	cur := nodeIdx
+	for {
+		h := f.store.NodeHash(Key(tl, cur))
+		parent, slot, ok := f.lay.Parent(cur)
+		if !ok {
+			f.roots[tl] = h
+			return
+		}
+		f.store.SetSlot(Key(tl, parent), slot, h)
+		cur = parent
+	}
+}
+
+// Verify checks the chain from (nodeIdx, slot) holding hash h up to the
+// on-chip TreeLing root.
+func (f *Forest) Verify(tl, nodeIdx, slot int, h uint64) error {
+	if got := f.store.Slot(Key(tl, nodeIdx), slot); got != h {
+		return fmt.Errorf("tree: TreeLing %d node %d slot %d mismatch", tl, nodeIdx, slot)
+	}
+	cur := nodeIdx
+	for {
+		nh := f.store.NodeHash(Key(tl, cur))
+		parent, slot, ok := f.lay.Parent(cur)
+		if !ok {
+			if f.roots[tl] != nh {
+				return fmt.Errorf("tree: TreeLing %d root mismatch", tl)
+			}
+			return nil
+		}
+		if got := f.store.Slot(Key(tl, parent), slot); got != nh {
+			return fmt.Errorf("tree: TreeLing %d node %d slot %d mismatch on path", tl, parent, slot)
+		}
+		cur = parent
+	}
+}
+
+// Root returns the on-chip root hash of a TreeLing.
+func (f *Forest) Root(tl int) uint64 { return f.roots[tl] }
+
+// ResetTreeLing clears every node of a TreeLing (used when a TreeLing is
+// reclaimed from a destroyed domain).
+func (f *Forest) ResetTreeLing(tl int) {
+	for i := 0; i < f.lay.NodesPerTreeLing; i++ {
+		f.store.Drop(Key(tl, i))
+	}
+	delete(f.roots, tl)
+}
+
+// Corrupt overwrites a stored slot hash — a physical tamper used in tests.
+func (f *Forest) Corrupt(tl, nodeIdx, slot int, v uint64) {
+	f.store.SetSlot(Key(tl, nodeIdx), slot, v)
+}
