@@ -7,6 +7,7 @@
 package ivleague_test
 
 import (
+	"runtime"
 	"testing"
 
 	"ivleague/internal/analysis"
@@ -23,7 +24,7 @@ import (
 func benchCfg() config.Config {
 	cfg := config.Default()
 	cfg.Sim.WarmupInstr = 5_000
-	cfg.Sim.MeasureIntr = 20_000
+	cfg.Sim.MeasureInstr = 20_000
 	cfg.Sim.FootprintScale = 0.05
 	return cfg
 }
@@ -358,12 +359,34 @@ func BenchmarkAblationLMMCache(b *testing.B) {
 	}
 }
 
+// BenchmarkFiguresRunEngine measures the figure harness's run engine end
+// to end (alone runs + every (mix, scheme) simulation) serially and at the
+// machine's core count; on a multi-core host the per-op time drops roughly
+// with min(cores, independent runs) while the resulting RunSet stays
+// byte-identical.
+func BenchmarkFiguresRunEngine(b *testing.B) {
+	mixes := []workload.Mix{benchMix(b, "S-1"), benchMix(b, "M-1")}
+	for _, j := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(map[bool]string{true: "serial", false: "allcores"}[j == 1], func(b *testing.B) {
+			o := figures.Quick()
+			o.Cfg = benchCfg()
+			o.Mixes = mixes
+			o.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := figures.Run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (instructions simulated per second), a practical adoption metric.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := benchCfg()
 	mix := benchMix(b, "S-1")
-	instr := float64(cfg.Sim.WarmupInstr+cfg.Sim.MeasureIntr) * 4
+	instr := float64(cfg.Sim.WarmupInstr+cfg.Sim.MeasureInstr) * 4
 	for i := 0; i < b.N; i++ {
 		runMix(b, &cfg, config.SchemeIvLeaguePro, mix)
 	}

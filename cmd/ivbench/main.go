@@ -2,15 +2,20 @@
 // arguments it runs every experiment at quick scale; pass experiment IDs
 // (fig3 fig15 fig16 fig17a fig17b fig18 fig19 fig20a fig20b fig21 fig22
 // table3) to select a subset, and -full for longer, tighter runs.
+// Independent runs fan out across -j workers; tables are byte-identical
+// for every -j value. Any failed experiment is reported on stderr and the
+// process exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ivleague/internal/figures"
+	"ivleague/internal/stats"
 	"ivleague/internal/workload"
 )
 
@@ -18,6 +23,7 @@ func main() {
 	full := flag.Bool("full", false, "run the long (paper-scale) configuration")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	mixFilter := flag.String("mixes", "", "comma-separated mix subset (e.g. S-1,L-2)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (results are identical for any value)")
 	flag.Parse()
 
 	opts := figures.Quick()
@@ -27,6 +33,7 @@ func main() {
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
+	opts.Parallelism = *jobs
 	if *mixFilter != "" {
 		var mixes []workload.Mix
 		for _, name := range strings.Split(*mixFilter, ",") {
@@ -40,66 +47,86 @@ func main() {
 		opts.Mixes = mixes
 	}
 
+	known := []string{"table3", "fig21", "fig22", "fig3", "fig15", "fig16",
+		"fig17a", "fig17b", "fig18", "fig19", "fig20a", "fig20b"}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
-		want[strings.ToLower(a)] = true
+		id := strings.ToLower(a)
+		found := false
+		for _, k := range known {
+			found = found || k == id
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "ivbench: unknown experiment %q (known: %s)\n",
+				a, strings.Join(known, " "))
+			os.Exit(2)
+		}
+		want[id] = true
 	}
 	all := len(want) == 0
 	sel := func(id string) bool { return all || want[id] }
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ivbench:", err)
+		os.Exit(1)
+	}
+	show := func(title string, t *stats.Table, err error) {
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== " + title + " ==")
+		fmt.Println(t)
+	}
+
 	// Simulation-independent experiments first (fast).
 	if sel("table3") {
-		fmt.Println("== Table III: hardware cost ==")
-		fmt.Println(figures.Table3(&opts.Cfg))
+		show("Table III: hardware cost", figures.Table3(&opts.Cfg), nil)
 	}
 	if sel("fig21") {
-		fmt.Println("== Figure 21: required TreeLings vs size and skewness (D=4096) ==")
-		fmt.Println(figures.Fig21())
+		show("Figure 21: required TreeLings vs size and skewness (D=4096)", figures.Fig21(), nil)
 	}
 	if sel("fig22") {
-		fmt.Println("== Figure 22: scheduling success rate, static partitioning vs IvLeague ==")
-		fmt.Println(figures.Fig22(opts))
+		show("Figure 22: scheduling success rate, static partitioning vs IvLeague", figures.Fig22(opts), nil)
 	}
 	if sel("fig3") {
-		fmt.Println("== Figure 3 / Section IV: metadata side-channel attack ==")
-		fmt.Println(figures.Fig3(opts))
+		t, err := figures.Fig3(opts)
+		show("Figure 3 / Section IV: metadata side-channel attack", t, err)
 	}
 
 	needRunSet := sel("fig15") || sel("fig16") || sel("fig17b") || sel("fig18") || sel("fig19")
 	var rs *figures.RunSet
 	if needRunSet {
-		rs = figures.Run(opts)
+		var err error
+		if rs, err = figures.Run(opts); err != nil {
+			fail(err)
+		}
 	}
 	if sel("fig15") {
-		fmt.Println("== Figure 15: weighted IPC normalized to Baseline ==")
-		fmt.Println(rs.Fig15())
+		t, err := rs.Fig15()
+		show("Figure 15: weighted IPC normalized to Baseline", t, err)
 	}
 	if sel("fig16") {
-		fmt.Println("== Figure 16: average verification path length ==")
-		fmt.Println(rs.Fig16())
+		show("Figure 16: average verification path length", rs.Fig16(), nil)
 	}
 	if sel("fig17a") {
-		fmt.Println("== Figure 17a: NFL vs naive bit vectors (x = failed) ==")
-		fmt.Println(figures.Fig17a(opts))
+		t, err := figures.Fig17a(opts)
+		show("Figure 17a: NFL vs naive bit vectors (x = failed)", t, err)
 	}
 	if sel("fig17b") {
-		fmt.Println("== Figure 17b: TreeLing utilization ==")
-		fmt.Println(rs.Fig17b())
+		show("Figure 17b: TreeLing utilization", rs.Fig17b(), nil)
 	}
 	if sel("fig18") {
-		fmt.Println("== Figure 18: NFLB hit rate ==")
-		fmt.Println(rs.Fig18())
+		show("Figure 18: NFLB hit rate", rs.Fig18(), nil)
 	}
 	if sel("fig19") {
-		fmt.Println("== Figure 19: total memory accesses vs Baseline ==")
-		fmt.Println(rs.Fig19())
+		show("Figure 19: total memory accesses vs Baseline", rs.Fig19(), nil)
 	}
 	if sel("fig20a") {
-		fmt.Println("== Figure 20a: TreeLing size sensitivity ==")
-		fmt.Println(figures.Fig20a(opts))
+		t, err := figures.Fig20a(opts)
+		show("Figure 20a: TreeLing size sensitivity", t, err)
 	}
 	if sel("fig20b") {
-		fmt.Println("== Figure 20b: tree metadata cache size sensitivity ==")
-		fmt.Println(figures.Fig20b(opts))
+		t, err := figures.Fig20b(opts)
+		show("Figure 20b: tree metadata cache size sensitivity", t, err)
 	}
 }

@@ -37,7 +37,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := config.Default()
-	cfg.Sim.MeasureIntr = *measure
+	cfg.Sim.MeasureInstr = *measure
 	cfg.Sim.WarmupInstr = *warmup
 	cfg.Sim.FootprintScale = *scale
 	cfg.Sim.Seed = *seed

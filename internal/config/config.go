@@ -209,9 +209,9 @@ type IvLeagueConfig struct {
 
 // SimConfig controls run length and reproducibility.
 type SimConfig struct {
-	Seed        uint64
-	WarmupInstr uint64 // per-core instructions before stats collection
-	MeasureIntr uint64 // per-core measured instructions
+	Seed         uint64
+	WarmupInstr  uint64 // per-core instructions before stats collection
+	MeasureInstr uint64 // per-core measured instructions
 	// FootprintScale shrinks workload footprints so trace-driven runs
 	// finish quickly while preserving the Small/Medium/Large ordering
 	// and metadata-pressure differences. 1.0 = paper-sized footprints.
@@ -293,7 +293,7 @@ func Default() Config {
 		Sim: SimConfig{
 			Seed:           42,
 			WarmupInstr:    100_000,
-			MeasureIntr:    400_000,
+			MeasureInstr:   400_000,
 			FootprintScale: 0.25,
 			InitFrac:       0.5,
 		},
@@ -376,7 +376,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: %d TreeLings of %d bytes cannot cover %d bytes of memory",
 			iv.TreeLingCount, c.TreeLingBytes(), c.DRAM.SizeBytes)
 	}
-	if c.Sim.MeasureIntr == 0 {
+	if c.Sim.MeasureInstr == 0 {
 		return errors.New("config: measured instruction count must be positive")
 	}
 	if c.Sim.FootprintScale <= 0 || c.Sim.FootprintScale > 1 {

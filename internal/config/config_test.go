@@ -71,7 +71,7 @@ func TestValidateRejectsBadFields(t *testing.T) {
 		func(c *Config) { c.IvLeague.TreeLingHeight = 1 },
 		func(c *Config) { c.IvLeague.RootLockWays = 8 },
 		func(c *Config) { c.IvLeague.HotRegionLeaves = 1 << 20 },
-		func(c *Config) { c.Sim.MeasureIntr = 0 },
+		func(c *Config) { c.Sim.MeasureInstr = 0 },
 		func(c *Config) { c.DRAM.RowHitLatency = 0 },
 	}
 	for i, m := range mut {

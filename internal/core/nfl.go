@@ -94,10 +94,11 @@ func (s *nflSpace) rewind() bool {
 		return true
 	}
 	if s.fRegion > 0 {
+		// After the decrement fRegion is at most len(regions)-1 (it never
+		// exceeds len(regions), even when exhausted), so the target region
+		// always exists.
 		s.fRegion--
-		if s.fRegion < len(s.regions) {
-			s.fBlock = s.regions[s.fRegion].nBlocks - 1
-		}
+		s.fBlock = s.regions[s.fRegion].nBlocks - 1
 		return true
 	}
 	return false

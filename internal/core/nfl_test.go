@@ -133,6 +133,50 @@ func TestNFLSpaceRewindAcrossRegions(t *testing.T) {
 	}
 }
 
+func TestNFLSpaceRewindCrossRegionMultiBlock(t *testing.T) {
+	// Section VI-C1: rewinding at a region's first block must land on the
+	// *last* block of the previous TreeLing's NFL, not its first.
+	s := newNFLSpace(8)
+	tracked := make([]int32, 24) // 3 blocks of 8 entries
+	for i := range tracked {
+		tracked[i] = int32(i)
+	}
+	s.addRegion(1, tracked, 0xff, 0)
+	s.addRegion(2, tracked[:8], 0xff, 3)
+	for i := 0; i < 3; i++ { // frontier to region 2, block 0
+		s.advance()
+	}
+	if r, b := s.frontier(); r.tl != 2 || b != 0 {
+		t.Fatalf("setup frontier at tl=%d b=%d", r.tl, b)
+	}
+	if !s.rewind() {
+		t.Fatal("cross-region rewind failed")
+	}
+	if r, b := s.frontier(); r.tl != 1 || b != 2 {
+		t.Fatalf("rewind landed at tl=%d b=%d, want tl=1 b=2", r.tl, b)
+	}
+}
+
+func TestNFLSpaceRewindFromExhausted(t *testing.T) {
+	// Once the frontier has run past the last region, a deallocation-driven
+	// rewind must step back onto the last region's last block.
+	s := newNFLSpace(8)
+	s.addRegion(1, []int32{1, 2, 3, 4, 5, 6, 7, 8}, 0xff, 0)
+	s.addRegion(2, []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0xff, 1)
+	for !s.exhausted() {
+		s.advance()
+	}
+	if !s.rewind() {
+		t.Fatal("rewind from exhausted failed")
+	}
+	if s.exhausted() {
+		t.Fatal("still exhausted after rewind")
+	}
+	if r, b := s.frontier(); r.tl != 2 || b != r.nBlocks-1 {
+		t.Fatalf("rewind landed at tl=%d b=%d, want tl=2 last block", r.tl, b)
+	}
+}
+
 func TestNFLSpaceFreeSlotAccounting(t *testing.T) {
 	s := testSpace(0, 4)
 	if got := s.freeSlots(); got != 32 {

@@ -7,12 +7,12 @@ package figures
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"ivleague/internal/analysis"
 	"ivleague/internal/attack"
 	"ivleague/internal/config"
 	"ivleague/internal/hwcost"
+	"ivleague/internal/rng"
 	"ivleague/internal/sim"
 	"ivleague/internal/stats"
 	"ivleague/internal/workload"
@@ -25,8 +25,15 @@ type Options struct {
 	Mixes   []workload.Mix
 	// Trials for the Figure 22 Monte-Carlo.
 	Trials int
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. The
+	// engine wraps it to be concurrency-safe; line order across runs is
+	// scheduling-dependent, but figure tables are not.
 	Progress io.Writer
+	// Parallelism bounds the number of concurrent simulation runs; values
+	// <= 0 mean runtime.GOMAXPROCS(0). Every run is fully isolated (its
+	// own Config copy and generators), so results are byte-identical for
+	// every parallelism level.
+	Parallelism int
 }
 
 // PerfSchemes are the four schemes of Figures 15/16/18/19.
@@ -44,7 +51,7 @@ func PerfSchemes() []config.Scheme {
 func Quick() Options {
 	cfg := config.Default()
 	cfg.Sim.WarmupInstr = 30_000
-	cfg.Sim.MeasureIntr = 120_000
+	cfg.Sim.MeasureInstr = 120_000
 	return Options{Cfg: cfg, Schemes: PerfSchemes(), Mixes: workload.Mixes(), Trials: 300}
 }
 
@@ -52,7 +59,7 @@ func Quick() Options {
 func Full() Options {
 	cfg := config.Default()
 	cfg.Sim.WarmupInstr = 80_000
-	cfg.Sim.MeasureIntr = 400_000
+	cfg.Sim.MeasureInstr = 400_000
 	return Options{Cfg: cfg, Schemes: PerfSchemes(), Mixes: workload.Mixes(), Trials: 1000}
 }
 
@@ -70,53 +77,54 @@ type RunSet struct {
 	Alone   map[string]float64                      // benchmark → alone IPC
 }
 
-// Run executes every (mix, scheme) simulation once; figures 15–19 are
-// derived from this set without re-simulation.
-func Run(o Options) *RunSet {
+// Run executes every (mix, scheme) simulation once — the alone runs and
+// the mix runs each fan out across Options.Parallelism workers — and
+// figures 15–19 are derived from this set without re-simulation.
+func Run(o Options) (*RunSet, error) {
+	o.lockProgress()
 	rs := &RunSet{
 		Options: &o,
 		Results: make(map[string]map[config.Scheme]sim.Result),
-		Alone:   make(map[string]float64),
 	}
-	for name := range workload.Benchmarks() {
-		p, _ := workload.ByName(name)
-		ipc, err := sim.RunAlone(&o.Cfg, config.SchemeBaseline, p)
-		if err != nil {
-			panic(fmt.Sprintf("figures: alone run %s: %v", name, err))
+	var err error
+	if rs.Alone, err = aloneIPCs(&o); err != nil {
+		return nil, err
+	}
+	jobs := mixSchemeJobs(o.Mixes, o.Schemes)
+	out, err := runMixSchemes(&o, jobs, func(mixSchemeJob) config.Config { return o.Cfg }, "mix")
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if rs.Results[j.mix.Name] == nil {
+			rs.Results[j.mix.Name] = make(map[config.Scheme]sim.Result)
 		}
-		rs.Alone[name] = ipc
-		o.progress("alone %-14s IPC %.4f", name, ipc)
+		rs.Results[j.mix.Name][j.scheme] = out[i]
 	}
-	for _, mix := range o.Mixes {
-		rs.Results[mix.Name] = make(map[config.Scheme]sim.Result)
-		for _, scheme := range o.Schemes {
-			res := sim.RunMix(&o.Cfg, scheme, mix)
-			rs.Results[mix.Name][scheme] = res
-			o.progress("mix %-4s %-18s failed=%v", mix.Name, scheme, res.Failed)
-		}
-	}
-	return rs
+	return rs, nil
 }
 
-// weightedIPC computes Σ IPC_i/IPC_alone_i for one run.
-func (rs *RunSet) weightedIPC(res sim.Result) float64 {
+// weightedIPC computes Σ IPC_i/IPC_alone_i for one run. A failed run
+// contributes 0; a benchmark with no recorded alone IPC is an error (the
+// run set was built without its denominator).
+func (rs *RunSet) weightedIPC(res sim.Result) (float64, error) {
 	if res.Failed {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for i, bench := range res.Bench {
 		alone := rs.Alone[bench]
 		if alone <= 0 {
-			panic("figures: missing alone IPC for " + bench)
+			return 0, fmt.Errorf("figures: missing alone IPC for %s", bench)
 		}
 		sum += res.IPC[i] / alone
 	}
-	return sum
+	return sum, nil
 }
 
 // Fig15 renders the weighted-IPC comparison normalized to Baseline,
 // including per-class geometric means.
-func (rs *RunSet) Fig15() *stats.Table {
+func (rs *RunSet) Fig15() (*stats.Table, error) {
 	t := &stats.Table{Header: []string{"mix"}}
 	for _, s := range rs.Options.Schemes {
 		t.Header = append(t.Header, s.String())
@@ -135,10 +143,16 @@ func (rs *RunSet) Fig15() *stats.Table {
 			addGmean(lastClass, "gmean"+lastClass.String())
 		}
 		lastClass = mix.Class
-		base := rs.weightedIPC(rs.Results[mix.Name][config.SchemeBaseline])
+		base, err := rs.weightedIPC(rs.Results[mix.Name][config.SchemeBaseline])
+		if err != nil {
+			return nil, fmt.Errorf("fig15 %s: %w", mix.Name, err)
+		}
 		cells := []string{mix.Name}
 		for _, s := range rs.Options.Schemes {
-			w := rs.weightedIPC(rs.Results[mix.Name][s])
+			w, err := rs.weightedIPC(rs.Results[mix.Name][s])
+			if err != nil {
+				return nil, fmt.Errorf("fig15 %s: %w", mix.Name, err)
+			}
 			norm := 0.0
 			if base > 0 {
 				norm = w / base
@@ -154,7 +168,7 @@ func (rs *RunSet) Fig15() *stats.Table {
 		t.AddRow(cells...)
 	}
 	addGmean(lastClass, "gmean"+lastClass.String())
-	return t
+	return t, nil
 }
 
 // Fig16 renders the average verification path length per benchmark.
@@ -206,7 +220,8 @@ func (rs *RunSet) Fig16() *stats.Table {
 // TreeLings are provisioned proportionally to the (scaled) footprints so
 // that leaked slots translate into starvation as they do at full scale;
 // BV-v1 runs that leak without yet starving are marked "→starves".
-func Fig17a(o Options) *stats.Table {
+func Fig17a(o Options) (*stats.Table, error) {
+	o.lockProgress()
 	schemes := []config.Scheme{
 		config.SchemeBaseline, config.SchemeIvLeaguePro,
 		config.SchemeBVv1, config.SchemeBVv2,
@@ -215,46 +230,51 @@ func Fig17a(o Options) *stats.Table {
 	perClass := map[workload.Class]map[config.Scheme][]float64{}
 	fails := map[workload.Class]map[config.Scheme]bool{}
 	leaks := map[workload.Class]map[config.Scheme]int{}
-	rs := &RunSet{Options: &o, Alone: map[string]float64{}}
-	for name := range workload.Benchmarks() {
-		p, _ := workload.ByName(name)
-		ipc, err := sim.RunAlone(&o.Cfg, config.SchemeBaseline, p)
-		if err != nil {
-			panic(err)
-		}
-		rs.Alone[name] = ipc
+	rs := &RunSet{Options: &o}
+	var err error
+	if rs.Alone, err = aloneIPCs(&o); err != nil {
+		return nil, err
 	}
-	for _, mix := range o.Mixes {
+	jobs := mixSchemeJobs(o.Mixes, schemes)
+	out, err := runMixSchemes(&o, jobs, func(j mixSchemeJob) config.Config {
 		cfg := o.Cfg
 		// Tight provisioning: the scaled footprint plus one spare
 		// TreeLing per domain.
-		pages := uint64(float64(uint64(mix.FootprintMB())<<20>>config.PageShift) * cfg.Sim.FootprintScale)
-		need := int(pages/cfg.TreeLingPages()) + len(mix.Procs) + 4
+		pages := uint64(float64(uint64(j.mix.FootprintMB())<<20>>config.PageShift) * cfg.Sim.FootprintScale)
+		need := int(pages/cfg.TreeLingPages()) + len(j.mix.Procs) + 4
 		if uint64(need)*cfg.TreeLingBytes() < cfg.DRAM.SizeBytes {
 			cfg.DRAM.SizeBytes = uint64(need) * cfg.TreeLingBytes()
 		}
 		cfg.IvLeague.TreeLingCount = need
-		var base float64
-		for _, s := range schemes {
-			res := sim.RunMix(&cfg, s, mix)
-			o.progress("fig17a %-4s %-16s failed=%v", mix.Name, s, res.Failed)
-			w := rs.weightedIPC(res)
-			if s == config.SchemeBaseline {
-				base = w
-				continue
-			}
-			if perClass[mix.Class] == nil {
-				perClass[mix.Class] = map[config.Scheme][]float64{}
-				fails[mix.Class] = map[config.Scheme]bool{}
-				leaks[mix.Class] = map[config.Scheme]int{}
-			}
-			leaks[mix.Class][s] += res.Untracked
-			if res.Failed || base == 0 {
-				fails[mix.Class][s] = true
-				continue
-			}
-			perClass[mix.Class][s] = append(perClass[mix.Class][s], w/base)
+		return cfg
+	}, "fig17a")
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		mix, s, res := j.mix, j.scheme, out[i]
+		w, err := rs.weightedIPC(res)
+		if err != nil {
+			return nil, fmt.Errorf("fig17a %s: %w", mix.Name, err)
 		}
+		if s == config.SchemeBaseline {
+			continue
+		}
+		base, err := rs.weightedIPC(out[i-i%len(schemes)]) // baseline of the same mix
+		if err != nil {
+			return nil, fmt.Errorf("fig17a %s: %w", mix.Name, err)
+		}
+		if perClass[mix.Class] == nil {
+			perClass[mix.Class] = map[config.Scheme][]float64{}
+			fails[mix.Class] = map[config.Scheme]bool{}
+			leaks[mix.Class] = map[config.Scheme]int{}
+		}
+		leaks[mix.Class][s] += res.Untracked
+		if res.Failed || base == 0 {
+			fails[mix.Class][s] = true
+			continue
+		}
+		perClass[mix.Class][s] = append(perClass[mix.Class][s], w/base)
 	}
 	for _, class := range []workload.Class{workload.Small, workload.Medium, workload.Large} {
 		if perClass[class] == nil && fails[class] == nil {
@@ -277,7 +297,7 @@ func Fig17a(o Options) *stats.Table {
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig17b renders TreeLing utilization and untracked slots per class.
@@ -352,15 +372,9 @@ func (rs *RunSet) Fig19() *stats.Table {
 // Fig20a sweeps the TreeLing size (height 3/4/5 ↔ 2/16/128 MiB in this
 // model's geometry; the paper's 8/64/512 MB have the same ×8 ratios) and
 // reports gmean IPC normalized to IvLeague-Basic at the default height.
-func Fig20a(o Options) *stats.Table {
+func Fig20a(o Options) (*stats.Table, error) {
 	heights := []int{3, 4, 5}
-	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
-	t := &stats.Table{Header: []string{"treeling", "Basic", "Invert", "Pro"}}
-	mixes := representativeMixes(o.Mixes)
-	var baseRef float64
-	rows := make([][]float64, len(heights))
-	for hi, h := range heights {
-		cfg := o.Cfg
+	deriveCfg := func(h int, cfg config.Config) config.Config {
 		cfg.IvLeague.TreeLingHeight = h
 		// Keep the forest covering memory as the TreeLing shrinks/grows.
 		need := int(cfg.DRAM.SizeBytes/cfg.TreeLingBytes()) * 2
@@ -368,56 +382,71 @@ func Fig20a(o Options) *stats.Table {
 			need = 1024
 		}
 		cfg.IvLeague.TreeLingCount = need
-		rows[hi] = make([]float64, len(schemes))
-		for si, s := range schemes {
-			var vals []float64
-			for _, mix := range mixes {
-				res := sim.RunMix(&cfg, s, mix)
-				o.progress("fig20a h=%d %-4s %-16s failed=%v", h, mix.Name, s, res.Failed)
-				if res.Failed {
-					continue
-				}
-				sum := 0.0
-				for _, v := range res.IPC {
-					sum += v
-				}
-				vals = append(vals, sum)
-			}
-			g := stats.Gmean(vals)
-			rows[hi][si] = g
-			if h == 4 && s == config.SchemeIvLeagueBasic {
-				baseRef = g
-			}
-		}
+		return cfg
 	}
-	for hi, h := range heights {
+	label := func(h int) string {
 		mb := (uint64(1) << uint(3*h)) * config.PageBytes >> 20
-		cells := []string{fmt.Sprintf("%dMB(h=%d)", mb, h)}
-		for si := range schemes {
-			cells = append(cells, fmt.Sprintf("%.3f", rows[hi][si]/baseRef))
-		}
-		t.AddRow(cells...)
+		return fmt.Sprintf("%dMB(h=%d)", mb, h)
 	}
-	return t
+	return sweep(&o, "fig20a", "treeling", heights, deriveCfg, label, 4)
 }
 
 // Fig20b sweeps the integrity-tree metadata cache size.
-func Fig20b(o Options) *stats.Table {
+func Fig20b(o Options) (*stats.Table, error) {
 	sizes := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
-	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
-	t := &stats.Table{Header: []string{"tree-cache", "Basic", "Invert", "Pro"}}
-	mixes := representativeMixes(o.Mixes)
-	var baseRef float64
-	rows := make([][]float64, len(sizes))
-	for zi, size := range sizes {
-		cfg := o.Cfg
+	deriveCfg := func(size int, cfg config.Config) config.Config {
 		cfg.SecureMem.TreeCache.SizeBytes = size
-		rows[zi] = make([]float64, len(schemes))
-		for si, s := range schemes {
+		return cfg
+	}
+	label := func(size int) string { return fmt.Sprintf("%dKB", size>>10) }
+	return sweep(&o, "fig20b", "tree-cache", sizes, deriveCfg, label, 256<<10)
+}
+
+// sweep runs the Figure 20 sensitivity pattern: for every point of a
+// one-dimensional parameter sweep, simulate the representative mixes under
+// the three IvLeague schemes (every run fanned out in parallel) and report
+// per-point gmean IPC normalized to IvLeague-Basic at refPoint.
+func sweep(o *Options, tag, axis string, points []int, deriveCfg func(int, config.Config) config.Config, label func(int) string, refPoint int) (*stats.Table, error) {
+	o.lockProgress()
+	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
+	t := &stats.Table{Header: []string{axis, "Basic", "Invert", "Pro"}}
+	mixes := representativeMixes(o.Mixes)
+	// One job per (point, scheme, mix), point-major so the aggregation
+	// below reads contiguous stripes.
+	type job struct {
+		pi, si, mi int
+	}
+	var jobs []job
+	for pi := range points {
+		for si := range schemes {
+			for mi := range mixes {
+				jobs = append(jobs, job{pi, si, mi})
+			}
+		}
+	}
+	out := make([]sim.Result, len(jobs))
+	err := o.forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := deriveCfg(points[j.pi], o.Cfg)
+		res, err := sim.RunMixErr(&cfg, schemes[j.si], mixes[j.mi])
+		if err != nil {
+			return fmt.Errorf("figures: %s: %w", tag, err)
+		}
+		out[i] = res
+		o.progress("%s %s %-4s %-16s failed=%v", tag, label(points[j.pi]), mixes[j.mi].Name, schemes[j.si], res.Failed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseRef float64
+	rows := make([][]float64, len(points))
+	for pi, p := range points {
+		rows[pi] = make([]float64, len(schemes))
+		for si := range schemes {
 			var vals []float64
-			for _, mix := range mixes {
-				res := sim.RunMix(&cfg, s, mix)
-				o.progress("fig20b %dKB %-4s %-16s failed=%v", size>>10, mix.Name, s, res.Failed)
+			for mi := range mixes {
+				res := out[(pi*len(schemes)+si)*len(mixes)+mi]
 				if res.Failed {
 					continue
 				}
@@ -427,20 +456,23 @@ func Fig20b(o Options) *stats.Table {
 				}
 				vals = append(vals, sum)
 			}
-			rows[zi][si] = stats.Gmean(vals)
-			if size == 256<<10 && s == config.SchemeIvLeagueBasic {
-				baseRef = rows[zi][si]
+			rows[pi][si] = stats.Gmean(vals)
+			if p == refPoint && si == 0 {
+				baseRef = rows[pi][si]
 			}
 		}
 	}
-	for zi, size := range sizes {
-		cells := []string{fmt.Sprintf("%dKB", size>>10)}
+	if baseRef == 0 {
+		return nil, fmt.Errorf("figures: %s: every run of the reference point %s failed", tag, label(refPoint))
+	}
+	for pi := range points {
+		cells := []string{label(points[pi])}
 		for si := range schemes {
-			cells = append(cells, fmt.Sprintf("%.3f", rows[zi][si]/baseRef))
+			cells = append(cells, fmt.Sprintf("%.3f", rows[pi][si]/baseRef))
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, nil
 }
 
 // representativeMixes picks up to two mixes per class for the sensitivity
@@ -477,23 +509,42 @@ func Fig21() *stats.Table {
 	return t
 }
 
-// Fig22 renders the static-vs-IvLeague success-rate sweep.
+// Fig22 renders the static-vs-IvLeague success-rate sweep. The grid's
+// Monte-Carlo points fan out in parallel; each point's trials draw from a
+// stream seeded by rng.ForkLabel on the point's own parameters, so every
+// point is independent of scheduling (and of every other point — the
+// previous shared-seed derivation correlated same-(D, M) points across
+// utilization levels).
 func Fig22(o Options) *stats.Table {
+	o.lockProgress()
 	t := &stats.Table{Header: []string{"util", "domains", "memGB", "static", "ivleague"}}
-	pts := analysis.Fig22Surface(4096, o.Cfg.TreeLingBytes(),
-		[]float64{0.2, 0.4, 0.6, 0.8},
-		[]int{8, 16, 32, 64, 128},
-		[]int{8, 32, 128, 256},
-		o.Trials, o.Cfg.Sim.Seed)
-	sort.SliceStable(pts, func(i, j int) bool {
-		a, b := pts[i], pts[j]
-		if a.Utilization != b.Utilization {
-			return a.Utilization < b.Utilization
+	// The sorted order of the old serial sweep is exactly this grid order.
+	var pts []analysis.Fig22Point
+	for _, u := range []float64{0.2, 0.4, 0.6, 0.8} {
+		for _, d := range []int{8, 16, 32, 64, 128} {
+			for _, g := range []int{8, 32, 128, 256} {
+				pts = append(pts, analysis.Fig22Point{Utilization: u, Domains: d, MemoryGB: g})
+			}
 		}
-		if a.Domains != b.Domains {
-			return a.Domains < b.Domains
-		}
-		return a.MemoryGB < b.MemoryGB
+	}
+	// The per-point model cannot fail, so forEach only transports the
+	// results; ignore its always-nil error rather than widen the API.
+	_ = o.forEach(len(pts), func(i int) error {
+		p := &pts[i]
+		seed := rng.ForkLabel(o.Cfg.Sim.Seed,
+			fmt.Sprintf("fig22/u=%.2f/d=%d/g=%d", p.Utilization, p.Domains, p.MemoryGB))
+		p.Static, p.IvLeague = analysis.SuccessRates(analysis.ScalabilityConfig{
+			TreeLings:     4096,
+			TreeLingBytes: o.Cfg.TreeLingBytes(),
+			Utilization:   p.Utilization,
+			Domains:       p.Domains,
+			MemoryBytes:   uint64(p.MemoryGB) << 30,
+			Trials:        o.Trials,
+			Seed:          seed,
+		})
+		o.progress("fig22 u=%.0f%% D=%d %dGB static=%.2f ivleague=%.2f",
+			p.Utilization*100, p.Domains, p.MemoryGB, p.Static, p.IvLeague)
+		return nil
 	})
 	for _, p := range pts {
 		t.AddRow(fmt.Sprintf("%.0f%%", p.Utilization*100), fmt.Sprintf("%d", p.Domains),
@@ -517,23 +568,36 @@ func Table3(cfg *config.Config) *stats.Table {
 	return t
 }
 
-// Fig3 runs the side-channel demonstration across schemes.
-func Fig3(o Options) *stats.Table {
+// Fig3 runs the side-channel demonstration across schemes, one attack per
+// worker.
+func Fig3(o Options) (*stats.Table, error) {
+	o.lockProgress()
 	t := &stats.Table{Header: []string{"scheme", "shared-nodes", "accuracy", "lat(bit=1)", "lat(bit=0)"}}
 	acfg := attack.DefaultConfig()
 	acfg.KeyBits = 1024
-	cfg := o.Cfg
-	cfg.DRAM.SizeBytes = 1 << 30
-	cfg.IvLeague.TreeLingCount = 128
-	for _, s := range []config.Scheme{config.SchemeBaseline, config.SchemeIvLeagueBasic,
-		config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro} {
-		res, err := attack.Run(&cfg, s, acfg)
+	schemes := []config.Scheme{config.SchemeBaseline, config.SchemeIvLeagueBasic,
+		config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
+	out := make([]*attack.Result, len(schemes))
+	err := o.forEach(len(schemes), func(i int) error {
+		cfg := o.Cfg
+		cfg.DRAM.SizeBytes = 1 << 30
+		cfg.IvLeague.TreeLingCount = 128
+		res, err := attack.Run(&cfg, schemes[i], acfg)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("fig3 %v: %w", schemes[i], err)
 		}
+		out[i] = res
+		o.progress("fig3 %-16s accuracy=%.1f%%", schemes[i], res.Accuracy*100)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range schemes {
+		res := out[i]
 		t.AddRow(s.String(), fmt.Sprintf("%v", res.SharedNodes),
 			fmt.Sprintf("%.1f%%", res.Accuracy*100),
 			fmt.Sprintf("%.0f", res.MeanLatencyHit), fmt.Sprintf("%.0f", res.MeanLatencyMiss))
 	}
-	return t
+	return t, nil
 }

@@ -14,7 +14,7 @@ func tinyOptions(t *testing.T, mixNames ...string) Options {
 	t.Helper()
 	o := Quick()
 	o.Cfg.Sim.WarmupInstr = 5_000
-	o.Cfg.Sim.MeasureIntr = 15_000
+	o.Cfg.Sim.MeasureInstr = 15_000
 	o.Cfg.Sim.FootprintScale = 0.03
 	o.Trials = 50
 	var mixes []workload.Mix
@@ -34,8 +34,15 @@ func TestRunSetFigures(t *testing.T) {
 		t.Skip("simulation-backed figures")
 	}
 	o := tinyOptions(t, "S-1", "M-6", "L-2")
-	rs := Run(o)
-	f15 := rs.Fig15().String()
+	rs, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f15t, err := rs.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f15 := f15t.String()
 	for _, want := range []string{"S-1", "M-6", "L-2", "gmeanS", "gmeanM", "gmeanL", "IvLeague-Pro"} {
 		if !strings.Contains(f15, want) {
 			t.Fatalf("Fig15 missing %q:\n%s", want, f15)
@@ -82,7 +89,11 @@ func TestFig3AttackTable(t *testing.T) {
 		t.Skip("simulation-backed")
 	}
 	o := tinyOptions(t, "S-1")
-	out := Fig3(o).String()
+	f3, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f3.String()
 	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "IvLeague-Pro") {
 		t.Fatalf("Fig3 malformed:\n%s", out)
 	}

@@ -1,0 +1,186 @@
+// The parallel run engine behind every simulation-backed figure: a bounded
+// worker pool (stdlib only) that fans out independent runs and collects
+// results by index, so output tables are byte-identical to a serial pass
+// regardless of completion order. Isolation, not locking, is the safety
+// story: stats.Counter and rng.Source are intentionally not goroutine-safe,
+// so every run gets its own *config.Config copy and derives all of its
+// randomness from that copy (or from an rng.ForkLabel per-run label) —
+// workers never share mutable simulation state.
+
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ivleague/internal/config"
+	"ivleague/internal/sim"
+	"ivleague/internal/workload"
+)
+
+// parallelism resolves Options.Parallelism: values <= 0 mean one worker
+// per available CPU.
+func (o *Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// syncWriter serializes Write calls from concurrent workers so per-run
+// progress lines never interleave mid-line.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// lockProgress makes o.Progress safe for concurrent use. Idempotent, so
+// figure entry points can call it unconditionally on their Options copy.
+func (o *Options) lockProgress() {
+	if o.Progress == nil {
+		return
+	}
+	if _, ok := o.Progress.(*syncWriter); ok {
+		return
+	}
+	o.Progress = &syncWriter{w: o.Progress}
+}
+
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool.
+// Callers collect results by writing into index i of a preallocated slice,
+// which keeps output assembly deterministic no matter which worker
+// finishes first. Every index runs even if earlier ones fail; the errors
+// come back joined in index order (nil when all succeed). A panicking fn
+// is converted into that index's error instead of crashing the sweep —
+// the harness is a batch job that must degrade gracefully, not die at
+// point 37 of 80.
+func (o *Options) forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	par := o.parallelism()
+	if par > n {
+		par = n
+	}
+	errs := make([]error, n)
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = runOne(fn, i)
+		}
+		return errors.Join(errs...)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = runOne(fn, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runOne invokes fn(i), converting a panic into an error.
+func runOne(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("figures: run %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// benchmarkNames returns every benchmark name in sorted order (the map
+// iteration order of workload.Benchmarks is not deterministic).
+func benchmarkNames() []string {
+	bs := workload.Benchmarks()
+	names := make([]string, 0, len(bs))
+	for name := range bs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// aloneIPCs fans out the per-benchmark alone runs (the weighted-IPC
+// denominators of Figures 15 and 17a) and returns them keyed by benchmark.
+func aloneIPCs(o *Options) (map[string]float64, error) {
+	names := benchmarkNames()
+	vals := make([]float64, len(names))
+	err := o.forEach(len(names), func(i int) error {
+		p, _ := workload.ByName(names[i])
+		cfg := o.Cfg
+		ipc, err := sim.RunAlone(&cfg, config.SchemeBaseline, p)
+		if err != nil {
+			return fmt.Errorf("figures: alone run %s: %w", names[i], err)
+		}
+		vals[i] = ipc
+		o.progress("alone %-14s IPC %.4f", names[i], ipc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(names))
+	for i, name := range names {
+		out[name] = vals[i]
+	}
+	return out, nil
+}
+
+// mixSchemeJob is one (mix, scheme) simulation of a fan-out.
+type mixSchemeJob struct {
+	mix    workload.Mix
+	scheme config.Scheme
+}
+
+// mixSchemeJobs flattens the mixes × schemes grid in declared order.
+func mixSchemeJobs(mixes []workload.Mix, schemes []config.Scheme) []mixSchemeJob {
+	jobs := make([]mixSchemeJob, 0, len(mixes)*len(schemes))
+	for _, mix := range mixes {
+		for _, s := range schemes {
+			jobs = append(jobs, mixSchemeJob{mix: mix, scheme: s})
+		}
+	}
+	return jobs
+}
+
+// runMixSchemes fans out one simulation per (mix, scheme) job. deriveCfg
+// maps a job to the configuration its run uses (it must be a pure function
+// of the job so that results do not depend on scheduling); tag prefixes
+// the progress lines.
+func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob) config.Config, tag string) ([]sim.Result, error) {
+	out := make([]sim.Result, len(jobs))
+	err := o.forEach(len(jobs), func(i int) error {
+		cfg := deriveCfg(jobs[i])
+		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix)
+		if err != nil {
+			return fmt.Errorf("figures: %s: %w", tag, err)
+		}
+		out[i] = res
+		o.progress("%s %-4s %-18s failed=%v", tag, jobs[i].mix.Name, jobs[i].scheme, res.Failed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

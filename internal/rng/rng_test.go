@@ -135,6 +135,92 @@ func TestZipfLargeRange(t *testing.T) {
 	}
 }
 
+func TestZipfThetaNearAndAboveOne(t *testing.T) {
+	// Regression: alpha = 1/(1-theta) used to divide by zero at theta == 1
+	// and the Gray inversion was invalid for theta >= 1. All three skews
+	// must sample in range, be finite, and skew monotonically toward 0.
+	const n, trials = 1000, 50000
+	p0 := make(map[float64]float64)
+	for _, theta := range []float64{0.99, 1.0, 1.2} {
+		r := New(31)
+		z := NewZipf(n, theta)
+		counts := make([]int, n)
+		for i := 0; i < trials; i++ {
+			v := z.Next(r)
+			if v >= n {
+				t.Fatalf("theta=%v: Zipf out of range: %d", theta, v)
+			}
+			counts[v]++
+		}
+		if counts[0] < 10*counts[100]+1 {
+			t.Fatalf("theta=%v not skewed: c0=%d c100=%d", theta, counts[0], counts[100])
+		}
+		p0[theta] = float64(counts[0]) / trials
+	}
+	if !(p0[0.99] < p0[1.0] && p0[1.0] < p0[1.2]) {
+		t.Fatalf("P(0) not monotonic in theta: %v", p0)
+	}
+}
+
+func TestZipfThetaOneLargeRange(t *testing.T) {
+	// theta == 1 with n beyond the zeta cutoff exercises the logarithmic
+	// integral-tail inversion.
+	r := New(37)
+	z := NewZipf(1<<22, 1.0)
+	sawTail := false
+	for i := 0; i < 20000; i++ {
+		v := z.Next(r)
+		if v >= 1<<22 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		if v >= zetaCutoff {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Fatal("tail inversion never produced a value past the cutoff")
+	}
+}
+
+func TestZipfThetaValidation(t *testing.T) {
+	for _, theta := range []float64{0, -0.5, 5.1, math.NaN()} {
+		theta := theta
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(10, %v) did not panic", theta)
+				}
+			}()
+			NewZipf(10, theta)
+		}()
+	}
+	// Boundary value 5 is legal.
+	NewZipf(10, 5)
+}
+
+func TestForkLabelDeterministicAndDistinct(t *testing.T) {
+	if ForkLabel(42, "alone/gcc") != ForkLabel(42, "alone/gcc") {
+		t.Fatal("ForkLabel not deterministic")
+	}
+	if ForkLabel(42, "alone/gcc") == ForkLabel(42, "alone/mcf") {
+		t.Fatal("different labels collided")
+	}
+	if ForkLabel(42, "alone/gcc") == ForkLabel(43, "alone/gcc") {
+		t.Fatal("different seeds collided")
+	}
+	// ForkString must not perturb the parent stream.
+	parent, ref := New(3), New(3)
+	child := parent.ForkString("w1")
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatalf("ForkString perturbed parent at %d", i)
+		}
+	}
+	if child.Uint64() == New(3).ForkString("w2").Uint64() {
+		t.Fatal("ForkString labels w1 and w2 produced identical streams")
+	}
+}
+
 func TestUint64nPropertyInRange(t *testing.T) {
 	r := New(29)
 	f := func(n uint64) bool {

@@ -78,7 +78,7 @@ func ReplayMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix, r io.
 	// whole-trace behaviour), measured length covers the longest stream.
 	c := *cfg
 	c.Sim.WarmupInstr = 0
-	c.Sim.MeasureIntr = maxLen
+	c.Sim.MeasureInstr = maxLen
 	m.cfg = &c
 	return m.Run(), nil
 }

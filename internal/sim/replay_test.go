@@ -10,7 +10,7 @@ import (
 func TestRecordAndReplay(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Sim.WarmupInstr = 5_000
-	cfg.Sim.MeasureIntr = 20_000
+	cfg.Sim.MeasureInstr = 20_000
 	mix := smallMix(t)
 
 	// Record a run.
@@ -50,7 +50,7 @@ func TestRecordAndReplay(t *testing.T) {
 func TestReplayDeterminism(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Sim.WarmupInstr = 2_000
-	cfg.Sim.MeasureIntr = 10_000
+	cfg.Sim.MeasureInstr = 10_000
 	mix := smallMix(t)
 	m, _ := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
 	var buf bytes.Buffer

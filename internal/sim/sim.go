@@ -347,7 +347,7 @@ func (m *Machine) Run() Result {
 			warm = need
 		}
 	}
-	total := warm + m.cfg.Sim.MeasureIntr
+	total := warm + m.cfg.Sim.MeasureInstr
 	for i := uint64(0); i < total && !m.failed; i++ {
 		if i == warm {
 			m.resetStats()
@@ -421,13 +421,27 @@ func (m *Machine) resetStats() {
 }
 
 // RunMix is the one-call entry: build a machine for (cfg, scheme, mix) and
-// run it.
+// run it. Machine-construction errors are folded into a failed Result; use
+// RunMixErr to distinguish them from in-run scheme failures.
 func RunMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix) Result {
-	m, err := NewMachine(cfg, scheme, mix, 0)
+	res, err := RunMixErr(cfg, scheme, mix)
 	if err != nil {
 		return Result{Scheme: scheme, Failed: true, FailMsg: err.Error()}
 	}
-	return m.Run()
+	return res
+}
+
+// RunMixErr builds and runs a machine for (cfg, scheme, mix), returning
+// machine-construction errors (invalid config, too few cores) as errors.
+// A Result with Failed set is not an error: scheme failures mid-run
+// (TreeLing starvation under BV-v1, OOM) are measured outcomes that
+// Figure 17a reports as "x".
+func RunMixErr(cfg *config.Config, scheme config.Scheme, mix workload.Mix) (Result, error) {
+	m, err := NewMachine(cfg, scheme, mix, 0)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: mix %s under %v: %w", mix.Name, scheme, err)
+	}
+	return m.Run(), nil
 }
 
 // RunAlone runs a single benchmark by itself (for weighted-IPC baselines)

@@ -109,7 +109,7 @@ func TestMemAccessesExceedBaseline(t *testing.T) {
 
 func TestWritebackOwnersCleanedOnUnmap(t *testing.T) {
 	cfg := quickCfg()
-	cfg.Sim.MeasureIntr = 200_000 // enough for churn bursts
+	cfg.Sim.MeasureInstr = 200_000 // enough for churn bursts
 	m, err := NewMachine(&cfg, config.SchemeIvLeagueBasic, smallMix(t), 0)
 	if err != nil {
 		t.Fatal(err)

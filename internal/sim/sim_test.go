@@ -13,7 +13,7 @@ func quickCfg() config.Config {
 	cfg.DRAM.SizeBytes = 4 << 30
 	cfg.IvLeague.TreeLingCount = 512
 	cfg.Sim.WarmupInstr = 20_000
-	cfg.Sim.MeasureIntr = 60_000
+	cfg.Sim.MeasureInstr = 60_000
 	return cfg
 }
 
@@ -123,7 +123,7 @@ func TestChurnExercisesFreePaths(t *testing.T) {
 	// S-4 includes churn-heavy benchmarks (perlbench, xalancbmk, gcc,
 	// omnetpp): page frees must reach the NFL. Churn bursts fire every
 	// ~40–60K memory ops, so run long enough to cross that.
-	cfg.Sim.MeasureIntr = 200_000
+	cfg.Sim.MeasureInstr = 200_000
 	m, err := NewMachine(&cfg, config.SchemeIvLeagueBasic, smallMix(t), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -138,5 +138,13 @@ func TestChurnExercisesFreePaths(t *testing.T) {
 	}
 	if freed == 0 {
 		t.Fatal("no pages were freed during the run")
+	}
+}
+
+func TestRunMixErrRejectsImpossibleConfig(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Core.Count = 0
+	if _, err := RunMixErr(&cfg, config.SchemeBaseline, smallMix(t)); err == nil {
+		t.Fatal("machine construction with zero cores did not error")
 	}
 }

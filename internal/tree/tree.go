@@ -23,11 +23,12 @@ import (
 type SlotStore struct {
 	arity int
 	nodes map[uint64][]uint64
+	zero  []uint64 // shared all-zero node, read-only
 }
 
 // NewSlotStore creates a store for nodes with the given arity.
 func NewSlotStore(arity int) *SlotStore {
-	return &SlotStore{arity: arity, nodes: make(map[uint64][]uint64)}
+	return &SlotStore{arity: arity, nodes: make(map[uint64][]uint64), zero: make([]uint64, arity)}
 }
 
 // Arity returns the number of slots per node.
@@ -56,7 +57,7 @@ func (s *SlotStore) SetSlot(key uint64, slot int, h uint64) {
 func (s *SlotStore) NodeHash(key uint64) uint64 {
 	n := s.nodes[key]
 	if n == nil {
-		n = zeroSlots(s.arity)
+		n = s.zero
 	}
 	return crypto.NodeHash(n...)
 }
@@ -66,17 +67,6 @@ func (s *SlotStore) Drop(key uint64) { delete(s.nodes, key) }
 
 // Len returns the number of materialized nodes.
 func (s *SlotStore) Len() int { return len(s.nodes) }
-
-var zeroCache = map[int][]uint64{}
-
-func zeroSlots(a int) []uint64 {
-	if z, ok := zeroCache[a]; ok {
-		return z
-	}
-	z := make([]uint64, a)
-	zeroCache[a] = z
-	return z
-}
 
 // CounterBlockHash hashes a counter block's contents together with its
 // page frame number (binding position, preventing splicing).
