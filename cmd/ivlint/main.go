@@ -1,0 +1,43 @@
+// Command ivlint runs the repo's static-analysis suite (internal/ivlint)
+// over the given package patterns (default ./...).
+//
+// Exit status: 0 when the tree is clean, 1 when diagnostics were reported,
+// 2 when the packages could not be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ivleague/internal/ivlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ivlint [packages]\n\n")
+		for _, a := range ivlint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := ivlint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivlint:", err)
+		os.Exit(2)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range ivlint.Run(pkg, ivlint.Analyzers()) {
+			fmt.Println(d)
+			total++
+		}
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}

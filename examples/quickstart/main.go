@@ -101,12 +101,18 @@ func main() {
 	s2, _ := mem.SlotOf(pfn + 1)
 	lay := mem.Layout()
 	shared := false
+	mustAddr := func(addr uint64, err error) uint64 {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return addr
+	}
 	nodes1 := map[uint64]bool{}
 	for _, n := range mem.IvLeague().PathNodes(s1, nil) {
-		nodes1[lay.TreeLingNodeAddr(s1.TreeLing(), n)] = true
+		nodes1[mustAddr(lay.TreeLingNodeAddr(s1.TreeLing(), n))] = true
 	}
 	for _, n := range mem.IvLeague().PathNodes(s2, nil) {
-		if nodes1[lay.TreeLingNodeAddr(s2.TreeLing(), n)] {
+		if nodes1[mustAddr(lay.TreeLingNodeAddr(s2.TreeLing(), n))] {
 			shared = true
 		}
 	}

@@ -271,6 +271,15 @@ func probe2(mem *secmem.Controller, now *uint64, domain int, vpn, pfn uint64) in
 	return lat
 }
 
+// mustAddr unwraps a layout address computation. The attack harness only
+// asks about pages it mapped itself, so an address error is a harness bug.
+func mustAddr(addr uint64, err error) uint64 {
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
 // sharedNodeAddr returns the memory address of the tree node at the given
 // level on pfn's verification path under the machine's scheme.
 func sharedNodeAddr(mem *secmem.Controller, pfn uint64, level int) uint64 {
@@ -285,9 +294,9 @@ func sharedNodeAddr(mem *secmem.Controller, pfn uint64, level int) uint64 {
 		if idx >= len(path) {
 			idx = len(path) - 1
 		}
-		return lay.TreeLingNodeAddr(slot.TreeLing(), path[idx])
+		return mustAddr(lay.TreeLingNodeAddr(slot.TreeLing(), path[idx]))
 	}
-	return lay.GlobalNodeAddr(level, lay.GlobalNodeIndex(pfn, level))
+	return mustAddr(lay.GlobalNodeAddr(level, lay.GlobalNodeIndex(pfn, level)))
 }
 
 // evictLowerPath evicts pfn's counter block and the tree nodes below the
@@ -295,17 +304,17 @@ func sharedNodeAddr(mem *secmem.Controller, pfn uint64, level int) uint64 {
 // traverse the tree upward.
 func evictLowerPath(mem *secmem.Controller, domain int, pfn uint64) {
 	lay := mem.Layout()
-	mem.CounterCache().Invalidate(lay.CounterBlockAddr(pfn))
+	mem.CounterCache().Invalidate(mustAddr(lay.CounterBlockAddr(pfn)))
 	if ivc := mem.IvLeague(); ivc != nil {
 		if slot, ok := mem.SlotOf(pfn); ok {
 			path := ivc.PathNodes(slot, nil)
 			if len(path) > 1 {
-				mem.EvictMetadata(lay.TreeLingNodeAddr(slot.TreeLing(), path[0]))
+				mem.EvictMetadata(mustAddr(lay.TreeLingNodeAddr(slot.TreeLing(), path[0])))
 			}
 		}
 		return
 	}
-	mem.EvictMetadata(lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(pfn, 1)))
+	mem.EvictMetadata(mustAddr(lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(pfn, 1))))
 }
 
 // sharesPathNode reports whether the two pages' verification paths contain
@@ -321,10 +330,10 @@ func sharesPathNode(mem *secmem.Controller, pfnA, pfnB uint64, level int) bool {
 		}
 		seen := map[uint64]bool{}
 		for _, n := range ivc.PathNodes(sa, nil) {
-			seen[lay.TreeLingNodeAddr(sa.TreeLing(), n)] = true
+			seen[mustAddr(lay.TreeLingNodeAddr(sa.TreeLing(), n))] = true
 		}
 		for _, n := range ivc.PathNodes(sb, nil) {
-			if seen[lay.TreeLingNodeAddr(sb.TreeLing(), n)] {
+			if seen[mustAddr(lay.TreeLingNodeAddr(sb.TreeLing(), n))] {
 				return true
 			}
 		}

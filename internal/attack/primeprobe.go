@@ -52,7 +52,7 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 	// The victim's mul leaf node address and its cache geometry.
 	tc := mem.TreeCache().Config()
 	sets := uint64(tc.Sets())
-	target := lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(vMul, 1))
+	target := mustAddr(lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(vMul, 1)))
 	targetSet := (target >> 6) % sets
 
 	// Build the eviction set: attacker pages whose level-1 nodes map (in
@@ -62,7 +62,7 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 	var probePages []uint64
 	vpn := uint64(0x200)
 	for idx := uint64(0); len(probePages) < tc.Ways; idx++ {
-		addr := lay.GlobalNodeAddr(1, idx)
+		addr := mustAddr(lay.GlobalNodeAddr(1, idx))
 		if (addr>>6)%sets != targetSet {
 			continue
 		}
@@ -79,7 +79,7 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 
 	access := func(dom int, vpn, pfn uint64) int {
 		// Force the walk: evict the page's counter so verification runs.
-		mem.CounterCache().Invalidate(lay.CounterBlockAddr(pfn))
+		mem.CounterCache().Invalidate(mustAddr(lay.CounterBlockAddr(pfn)))
 		lat, err := mem.Access(now, dom, vpn, pfn, 0, false)
 		if err != nil {
 			panic(err)

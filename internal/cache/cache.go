@@ -14,6 +14,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
 )
@@ -60,13 +62,14 @@ type Cache struct {
 
 // New builds a cache from its configuration. seed keys the randomized index
 // hash (ignored for non-randomized caches). reservedWays ways per set are
-// set aside for locked lines; pass 0 for a normal cache.
-func New(cfg config.CacheConfig, seed uint64, reservedWays int) *Cache {
+// set aside for locked lines; pass 0 for a normal cache. The geometry is
+// validated up front so every later access is total.
+func New(cfg config.CacheConfig, seed uint64, reservedWays int) (*Cache, error) {
 	if err := cfg.Validate("cache"); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if reservedWays < 0 || reservedWays >= cfg.Ways {
-		panic("cache: reservedWays must leave at least one normal way")
+		return nil, fmt.Errorf("cache: reservedWays %d must leave at least one normal way of %d", reservedWays, cfg.Ways)
 	}
 	nsets := cfg.Sets()
 	c := &Cache{
@@ -85,7 +88,7 @@ func New(cfg config.CacheConfig, seed uint64, reservedWays int) *Cache {
 	for i := range c.sets {
 		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -124,20 +127,18 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		}
 	}
 	c.Misses.Inc()
-	// Fill: choose an invalid or LRU way among the non-reserved ways.
-	victim := -1
+	// Fill: choose an invalid or LRU way among the non-reserved ways. New
+	// guarantees reserved < ways, so the first candidate always exists and
+	// victim selection is total.
+	victim := c.reserved
 	for i := c.reserved; i < len(set); i++ {
 		if !set[i].valid {
 			victim = i
 			break
 		}
-		if victim < 0 || set[i].lastUse < set[victim].lastUse {
+		if set[i].lastUse < set[victim].lastUse {
 			victim = i
 		}
-	}
-	if victim < 0 {
-		// Fully reserved set (cannot happen: reserved < ways).
-		panic("cache: no fillable way")
 	}
 	if set[victim].valid {
 		res.Evicted = true
@@ -179,29 +180,30 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 }
 
 // Lock pins addr into one of the reserved ways of its set. Locked lines are
-// immune to normal eviction. It panics if the cache was built without
-// reserved ways or the set's reserved ways are all occupied by other locked
-// lines, since root locking is a static provisioning decision that must be
-// sized correctly by the caller.
-func (c *Cache) Lock(addr uint64) {
+// immune to normal eviction. It returns an error if the cache was built
+// without reserved ways or the set's reserved ways are all occupied by
+// other locked lines: root locking is a static provisioning decision that
+// must be sized correctly by the caller, and an undersized reservation must
+// surface instead of silently dropping the pin.
+func (c *Cache) Lock(addr uint64) error {
 	if c.reserved == 0 {
-		panic("cache: Lock on a cache without reserved ways")
+		return fmt.Errorf("cache: Lock %#x on a cache without reserved ways", addr)
 	}
 	c.tick++
 	lineAddr := addr >> c.lineShift
 	set := c.sets[c.index(lineAddr)]
 	for i := 0; i < c.reserved; i++ {
 		if set[i].valid && set[i].tag == lineAddr {
-			return // already locked
+			return nil // already locked
 		}
 	}
 	for i := 0; i < c.reserved; i++ {
 		if !set[i].valid {
 			set[i] = line{tag: lineAddr, lastUse: c.tick, valid: true, locked: true}
-			return
+			return nil
 		}
 	}
-	panic("cache: reserved ways exhausted; increase RootLockWays or reduce pinned lines")
+	return fmt.Errorf("cache: reserved ways exhausted pinning %#x; increase RootLockWays or reduce pinned lines", addr)
 }
 
 // Flush invalidates every line, returning the number of dirty lines dropped.

@@ -11,8 +11,17 @@ func smallCfg(randomized bool) config.CacheConfig {
 	return config.CacheConfig{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitLatency: 5, Randomized: randomized}
 }
 
+func mustNew(t *testing.T, cfg config.CacheConfig, seed uint64, reserved int) *Cache {
+	t.Helper()
+	c, err := New(cfg, seed, reserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestHitAfterFill(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	if r := c.Access(0x1000, false); r.Hit {
 		t.Fatal("cold access hit")
 	}
@@ -28,7 +37,7 @@ func TestHitAfterFill(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	sets := uint64(c.Config().Sets())
 	// Fill one set with Ways+1 distinct lines mapping to set 0.
 	for i := uint64(0); i < 5; i++ {
@@ -44,7 +53,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	sets := uint64(c.Config().Sets())
 	c.Access(0, true) // dirty
 	var wb Result
@@ -57,7 +66,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	c.Access(0x40, true)
 	present, dirty := c.Invalidate(0x40)
 	if !present || !dirty {
@@ -73,9 +82,11 @@ func TestInvalidate(t *testing.T) {
 
 func TestLockedLinesSurviveThrashing(t *testing.T) {
 	cfg := smallCfg(false)
-	c := New(cfg, 1, 1)
+	c := mustNew(t, cfg, 1, 1)
 	sets := uint64(c.Config().Sets())
-	c.Lock(0)
+	if err := c.Lock(0); err != nil {
+		t.Fatal(err)
+	}
 	// Thrash set 0 with many conflicting lines.
 	for i := uint64(1); i < 100; i++ {
 		c.Access(i*sets*64, false)
@@ -85,20 +96,28 @@ func TestLockedLinesSurviveThrashing(t *testing.T) {
 	}
 }
 
-func TestLockPanicsWithoutReservation(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Lock on unreserved cache did not panic")
-		}
-	}()
-	c.Lock(0)
+func TestLockErrorsWithoutReservation(t *testing.T) {
+	c := mustNew(t, smallCfg(false), 1, 0)
+	if err := c.Lock(0); err == nil {
+		t.Fatal("Lock on unreserved cache did not return an error")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	bad := smallCfg(false)
+	bad.Ways = 3 // sets would not be a power of two
+	if _, err := New(bad, 1, 0); err == nil {
+		t.Fatal("New accepted a non-power-of-two set count")
+	}
+	if _, err := New(smallCfg(false), 1, 5); err == nil {
+		t.Fatal("New accepted reserved ways exceeding associativity")
+	}
 }
 
 func TestRandomizedIndexDiffersFromDirect(t *testing.T) {
-	direct := New(smallCfg(false), 7, 0)
-	rand1 := New(smallCfg(true), 7, 0)
-	rand2 := New(smallCfg(true), 8, 0)
+	direct := mustNew(t, smallCfg(false), 7, 0)
+	rand1 := mustNew(t, smallCfg(true), 7, 0)
+	rand2 := mustNew(t, smallCfg(true), 8, 0)
 	differ12 := false
 	for i := uint64(0); i < 64; i++ {
 		la := i
@@ -113,7 +132,7 @@ func TestRandomizedIndexDiffersFromDirect(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	c.Access(0, true)
 	c.Access(64, false)
 	if d := c.Flush(); d != 1 {
@@ -125,7 +144,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestOccupancy(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	if c.Occupancy() != 0 {
 		t.Fatal("empty cache occupancy must be 0")
 	}
@@ -140,8 +159,8 @@ func TestOccupancy(t *testing.T) {
 // Property: after accessing an address, an immediate probe always hits,
 // for both direct and randomized indexing.
 func TestAccessThenProbeProperty(t *testing.T) {
-	direct := New(smallCfg(false), 3, 0)
-	random := New(smallCfg(true), 3, 0)
+	direct := mustNew(t, smallCfg(false), 3, 0)
+	random := mustNew(t, smallCfg(true), 3, 0)
 	f := func(addr uint64) bool {
 		direct.Access(addr, false)
 		random.Access(addr, false)
@@ -155,7 +174,7 @@ func TestAccessThenProbeProperty(t *testing.T) {
 // Property: total lines valid never exceeds capacity regardless of the
 // access pattern.
 func TestCapacityInvariant(t *testing.T) {
-	c := New(smallCfg(true), 9, 0)
+	c := mustNew(t, smallCfg(true), 9, 0)
 	f := func(addrs []uint64) bool {
 		for _, a := range addrs {
 			c.Access(a, a%3 == 0)
@@ -168,7 +187,7 @@ func TestCapacityInvariant(t *testing.T) {
 }
 
 func TestHitRateAndReset(t *testing.T) {
-	c := New(smallCfg(false), 1, 0)
+	c := mustNew(t, smallCfg(false), 1, 0)
 	c.Access(0, false)
 	c.Access(0, false)
 	if hr := c.HitRate(); hr != 0.5 {

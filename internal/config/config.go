@@ -346,12 +346,27 @@ func (c *Config) Validate() error {
 	if a < 2 || a&(a-1) != 0 {
 		return errors.New("config: tree arity must be a power of two >= 2")
 	}
+	if a > 256 {
+		// SlotID packs the within-node slot index into 8 bits.
+		return fmt.Errorf("config: tree arity %d exceeds the SlotID slot field (max 256)", a)
+	}
 	iv := c.IvLeague
 	if iv.TreeLingHeight < 2 || iv.TreeLingHeight > 8 {
 		return errors.New("config: TreeLing height must be in [2,8]")
 	}
 	if iv.TreeLingCount <= 0 {
 		return errors.New("config: TreeLing count must be positive")
+	}
+	// SlotID packs the top-down node index into 24 bits; bound the TreeLing
+	// node count so every reachable slot identifier is representable.
+	nodes := 0
+	cnt := 1
+	for level := iv.TreeLingHeight; level >= 1; level-- {
+		nodes += cnt
+		cnt *= a
+	}
+	if nodes >= 1<<24 {
+		return fmt.Errorf("config: %d nodes per TreeLing exceed the SlotID node field (max %d)", nodes, 1<<24-1)
 	}
 	if iv.MaxDomains <= 0 {
 		return errors.New("config: MaxDomains must be positive")

@@ -30,7 +30,22 @@ func newCtrl(t *testing.T, mode Mode, functional bool) (*Controller, *layout.Lay
 	if functional {
 		f = tree.NewForest(lay)
 	}
-	return NewController(&cfg, lay, mode, f), lay
+	c, err := NewController(&cfg, lay, mode, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lay
+}
+
+// mustCtrl unwraps NewController's (controller, error) result.
+func mustCtrl(t *testing.T) func(*Controller, error) *Controller {
+	return func(c *Controller, err error) *Controller {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
 }
 
 func TestSlotIDRoundTrip(t *testing.T) {
@@ -257,7 +272,7 @@ func TestProMigratesHotPage(t *testing.T) {
 	cfg := testConfig()
 	cfg.IvLeague.HotThreshold = 4
 	lay := layout.New(&cfg)
-	c := NewController(&cfg, lay, ModePro, nil)
+	c := mustCtrl(t)(NewController(&cfg, lay, ModePro, nil))
 	c.CreateDomain(1)
 	var ops OpList
 	slot, err := c.AllocPage(1, 77, &ops)
@@ -298,7 +313,7 @@ func TestProLazyReclaimWhenHotRegionFull(t *testing.T) {
 	cfg.IvLeague.HotRegionLeaves = 1    // τhot: one node, 8 slots
 	cfg.IvLeague.HotClearInterval = 4   // residents go cold quickly
 	lay := layout.New(&cfg)
-	c := NewController(&cfg, lay, ModePro, nil)
+	c := mustCtrl(t)(NewController(&cfg, lay, ModePro, nil))
 	c.CreateDomain(1)
 	var ops OpList
 	const pages = 9 // one more than τhot capacity
@@ -350,7 +365,7 @@ func TestProHotRegionExcludedFromRegularAlloc(t *testing.T) {
 func TestStarvationReported(t *testing.T) {
 	cfg := testConfig()
 	lay := layout.New(&cfg)
-	c := NewController(&cfg, lay, ModeBasic, nil)
+	c := mustCtrl(t)(NewController(&cfg, lay, ModeBasic, nil))
 	c.CreateDomain(1)
 	var ops OpList
 	total := lay.TreeLingPages() * 32 // all TreeLings
@@ -501,7 +516,7 @@ func TestFunctionalForestTracksConversions(t *testing.T) {
 	cfg := testConfig()
 	lay := layout.New(&cfg)
 	forest := tree.NewForest(lay)
-	c := NewController(&cfg, lay, ModeInvert, forest)
+	c := mustCtrl(t)(NewController(&cfg, lay, ModeInvert, forest))
 	c.CreateDomain(1)
 	var ops OpList
 	// Map the first page and give it a recognizable hash.
@@ -537,20 +552,42 @@ func TestUtilizationEmpty(t *testing.T) {
 
 func TestOpListReadWrite(t *testing.T) {
 	var o OpList
-	o.Read(1)
-	o.Write(2)
+	o.Read(1, nil)
+	o.Write(2, nil)
 	if len(o.Ops) != 2 || o.Ops[0].Write || !o.Ops[1].Write {
 		t.Fatalf("ops: %+v", o.Ops)
 	}
 	o.Reset()
-	if len(o.Ops) != 0 {
+	if len(o.Ops) != 0 || o.Err() != nil {
 		t.Fatal("reset failed")
+	}
+}
+
+func TestOpListLatchesFirstError(t *testing.T) {
+	var o OpList
+	errA := errors.New("bad addr A")
+	o.Read(1, nil)
+	o.Write(0, errA)
+	o.Write(3, nil)                     // dropped: error already latched
+	o.Read(0, errors.New("bad addr B")) // must not replace the first error
+	if o.Err() != errA {
+		t.Fatalf("Err() = %v, want first error", o.Err())
+	}
+	if len(o.Ops) != 1 {
+		t.Fatalf("appends after an error must be dropped, got %d ops", len(o.Ops))
+	}
+	o.Reset()
+	if o.Err() != nil {
+		t.Fatal("Reset did not clear the latched error")
 	}
 }
 
 func TestLMMCache(t *testing.T) {
 	cfg := testConfig()
-	l := NewLMMCache(cfg.IvLeague.LMMCache, 7)
+	l, err := NewLMMCache(cfg.IvLeague.LMMCache, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if l.Access(1, 100, false) {
 		t.Fatal("cold LMM access hit")
 	}

@@ -83,8 +83,14 @@ type tlMeta struct {
 }
 
 // NewController builds the domain controller. forest may be nil to run
-// timing-only.
-func NewController(cfg *config.Config, lay *layout.Layout, mode Mode, forest *tree.Forest) *Controller {
+// timing-only. The mode is validated here so the per-access dispatch paths
+// never meet an unknown variant.
+func NewController(cfg *config.Config, lay *layout.Layout, mode Mode, forest *tree.Forest) (*Controller, error) {
+	switch mode {
+	case ModeBasic, ModeInvert, ModePro, ModeBVv1, ModeBVv2:
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
 	c := &Controller{
 		mode:    mode,
 		lay:     lay,
@@ -97,7 +103,7 @@ func NewController(cfg *config.Config, lay *layout.Layout, mode Mode, forest *tr
 	for i := range c.unassigned {
 		c.unassigned[i] = i
 	}
-	return c
+	return c, nil
 }
 
 // SetLeafUpdater installs the out-of-band LMM update callback.
@@ -206,6 +212,7 @@ func (c *Controller) trackedNodes() []int32 {
 		}
 		return out
 	default:
+		//ivlint:allow panicpath — NewController validates the mode; an unknown mode here is construction-state corruption
 		panic("core: unknown mode")
 	}
 }
@@ -498,7 +505,11 @@ func (c *Controller) NFLBOf(domainID int) *NFLB {
 func (c *Controller) Utilization() (util float64, untracked int) {
 	totalSlots := 0
 	leaked := 0
-	for _, d := range c.domains {
+	// Integer sums are order-independent, but iterate in sorted domain
+	// order anyway: the determinism contract bans raw map iteration in
+	// result-producing paths wholesale rather than auditing each case.
+	for _, id := range stats.SortedKeys(c.domains) {
+		d := c.domains[id]
 		for _, tl := range d.treelings {
 			leaked += d.meta[tl].leaked
 			if bv := d.bv[tl]; bv != nil {

@@ -15,8 +15,12 @@ type LMMCache struct {
 }
 
 // NewLMMCache builds the cache from its configuration.
-func NewLMMCache(cfg config.CacheConfig, seed uint64) *LMMCache {
-	return &LMMCache{c: cache.New(cfg, seed, 0)}
+func NewLMMCache(cfg config.CacheConfig, seed uint64) (*LMMCache, error) {
+	c, err := cache.New(cfg, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &LMMCache{c: c}, nil
 }
 
 func lmmAddr(domain int, vpn uint64) uint64 {

@@ -243,9 +243,13 @@ func TestNFLBEvictionWritesBackDirty(t *testing.T) {
 	b.Access(lay, 0, 1, false, &ops)
 	ops.Reset()
 	b.Access(lay, 0, 2, false, &ops) // evicts (0,0), dirty
+	wbAddr, err := lay.NFLBlockAddr(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	foundWB := false
 	for _, op := range ops.Ops {
-		if op.Write && op.Addr == lay.NFLBlockAddr(0, 0) {
+		if op.Write && op.Addr == wbAddr {
 			foundWB = true
 		}
 	}

@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"sync"
 
 	"ivleague/internal/config"
 	"ivleague/internal/sim"
+	"ivleague/internal/stats"
 	"ivleague/internal/workload"
 )
 
@@ -111,13 +111,7 @@ func runOne(fn func(i int) error, i int) (err error) {
 // benchmarkNames returns every benchmark name in sorted order (the map
 // iteration order of workload.Benchmarks is not deterministic).
 func benchmarkNames() []string {
-	bs := workload.Benchmarks()
-	names := make([]string, 0, len(bs))
-	for name := range bs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return stats.SortedKeys(workload.Benchmarks())
 }
 
 // aloneIPCs fans out the per-benchmark alone runs (the weighted-IPC

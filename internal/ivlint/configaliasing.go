@@ -1,0 +1,101 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ConfigAliasing enforces config immutability after machine construction:
+// a constructor may read the caller's *config.Config, but retaining the
+// pointer in a struct field — or writing through one — lets caller-side
+// mutations alias into a running machine, silently breaking run-to-run
+// reproducibility. Machines store value copies (config.Config) instead.
+var ConfigAliasing = &Analyzer{
+	Name: "configaliasing",
+	Doc: "forbid retaining *config.Config/*config.SimConfig in struct " +
+		"fields or mutating through one after construction",
+	Packages: []string{
+		"ivleague/internal/sim",
+		"ivleague/internal/secmem",
+		"ivleague/internal/core",
+		"ivleague/internal/figures",
+	},
+	Run: runConfigAliasing,
+}
+
+// configPtrName returns the type name when t is *config.Config or
+// *config.SimConfig.
+func configPtrName(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "ivleague/internal/config" {
+		return "", false
+	}
+	if obj.Name() == "Config" || obj.Name() == "SimConfig" {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// chainRoot descends a selector/index/deref chain to its root expression:
+// cfg.Sim.Seed → cfg, (*cfg).DRAM → cfg, cfgs[i].Sim → cfgs.
+func chainRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func runConfigAliasing(p *Pass) {
+	reportMutation := func(e ast.Expr) {
+		root := chainRoot(e)
+		if root == e {
+			return // plain identifier assignment, not a write through a chain
+		}
+		if t := p.TypesInfo.TypeOf(root); t != nil {
+			if name, ok := configPtrName(t); ok {
+				p.Reportf(e.Pos(), "write through shared *config.%s mutates the caller's "+
+					"configuration after construction; copy the config by value first", name)
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if t := p.TypesInfo.TypeOf(fld.Type); t != nil {
+						if name, ok := configPtrName(t); ok {
+							p.Reportf(fld.Pos(), "struct field retains *config.%s across "+
+								"construction; store a config value copy instead", name)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportMutation(lhs)
+				}
+			case *ast.IncDecStmt:
+				reportMutation(n.X)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the run-to-run reproducibility contract: the
+// figure harness must emit byte-identical tables for identical inputs,
+// at any parallelism. Anything that injects ambient state — wall-clock
+// reads, the process-seeded math/rand globals, environment variables, or
+// Go's randomized map iteration order — is banned from the simulation
+// packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, environment lookups " +
+		"and map-ordered iteration in the simulation packages",
+	Packages: []string{
+		"ivleague/internal/sim",
+		"ivleague/internal/figures",
+		"ivleague/internal/core",
+		"ivleague/internal/secmem",
+		"ivleague/internal/stats",
+		"ivleague/internal/workload",
+	},
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand functions that merely build a
+// deterministic generator from an explicit seed; everything else at
+// package level draws from the process-global, time-seeded source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				p.checkDeterminismSelector(n)
+			case *ast.RangeStmt:
+				if t := p.TypesInfo.TypeOf(n.X); t != nil && rangesOverMap(t) {
+					p.Reportf(n.Pos(), "range over map has nondeterministic order; "+
+						"iterate stats.SortedKeys(m) instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rangesOverMap reports whether a range over a value of type t iterates a
+// map, including type parameters whose constraint admits only map types
+// (the generic helpers, e.g. stats.SortedKeys's M ~map[K]V).
+func rangesOverMap(t types.Type) bool {
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap
+	}
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok || iface.NumEmbeddeds() == 0 {
+		return false
+	}
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch e := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < e.Len(); j++ {
+				if _, isMap := e.Term(j).Type().Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+		default:
+			if _, isMap := e.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Pass) checkDeterminismSelector(sel *ast.SelectorExpr) {
+	obj := p.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock; simulated time must "+
+				"come from the machine's cycle counts", name)
+		}
+	case "os":
+		if name == "Getenv" || name == "LookupEnv" || name == "Environ" {
+			p.Reportf(sel.Pos(), "os.%s makes results depend on the environment; "+
+				"thread configuration through config.Config instead", name)
+		}
+	case "math/rand", "math/rand/v2":
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on an explicitly-seeded *rand.Rand are fine
+		}
+		if !randConstructors[name] {
+			p.Reportf(sel.Pos(), "math/rand.%s draws from the process-global source; "+
+				"use internal/rng with an explicit seed", name)
+		}
+	}
+}

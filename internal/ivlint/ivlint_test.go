@@ -1,0 +1,319 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// srcImporter resolves imports from the stub packages under testdata/src,
+// keeping analyzer tests hermetic: no toolchain invocation, no dependence
+// on the real standard library sources.
+type srcImporter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadTestSrc type-checks the named sources as one package, resolving
+// imports from the testdata/src stubs.
+func loadTestSrc(t *testing.T, pkgPath string, srcs map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &srcImporter{
+		root: filepath.Join("testdata", "src"),
+		fset: fset,
+		pkgs: map[string]*types.Package{},
+	}
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, srcs[name], parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+}
+
+// readTestDir returns the sources of testdata/src/<dir> keyed by path.
+func readTestDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(full, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[filepath.Join(full, e.Name())] = string(b)
+	}
+	return srcs
+}
+
+// loadTestDir loads testdata/src/<dir> as a package whose import path is
+// the directory name.
+func loadTestDir(t *testing.T, dir string) *Package {
+	t.Helper()
+	return loadTestSrc(t, dir, readTestDir(t, dir))
+}
+
+// unscoped clones an analyzer with its package scope cleared, so it runs
+// over testdata packages whose import paths are outside the real scope.
+func unscoped(a *Analyzer) *Analyzer {
+	c := *a
+	c.Packages = nil
+	return &c
+}
+
+// wantRE matches golden-diagnostic expectations: // want `regexp`
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// checkWants runs the analyzers over pkg and compares the surviving
+// diagnostics against the package's // want comments, both ways: every
+// diagnostic needs a matching want on its line, and every want needs a
+// matching diagnostic.
+func checkWants(t *testing.T, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
+	diags := Run(pkg, analyzers)
+	type lineKey struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[lineKey][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, e := range wants[k] {
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, e.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "determ"), []*Analyzer{unscoped(Determinism)})
+}
+
+func TestPanicPathGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "panicp"), []*Analyzer{unscoped(PanicPath)})
+}
+
+func TestConfigAliasingGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "aliasing"), []*Analyzer{unscoped(ConfigAliasing)})
+}
+
+// countFor returns the diagnostics whose message contains substr.
+func countFor(diags []Diagnostic, substr string) int {
+	n := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Deleting a suppression must surface the diagnostic it was hiding — the
+// driver then exits non-zero. Exercised for each analyzer with a
+// suppression in its testdata.
+func TestDeletingSuppressionFails(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+		directiveSubstr,
+		surfaced string
+	}{
+		{"panicp", unscoped(PanicPath), "//ivlint:allow panicpath", "panic in checked"},
+		{"determ", unscoped(Determinism), "//ivlint:allow determinism — counting keys is order-independent\n", "range over map"},
+	}
+	for _, tc := range cases {
+		srcs := readTestDir(t, tc.dir)
+		edited := map[string]string{}
+		removed := false
+		for name, src := range srcs {
+			idx := strings.Index(src, tc.directiveSubstr)
+			if idx >= 0 {
+				nl := strings.Index(src[idx:], "\n")
+				src = src[:idx] + src[idx+nl+1:]
+				removed = true
+			}
+			edited[name] = src
+		}
+		if !removed {
+			t.Fatalf("%s: directive %q not found in testdata", tc.dir, tc.directiveSubstr)
+		}
+		before := Run(loadTestDir(t, tc.dir), []*Analyzer{tc.analyzer})
+		after := Run(loadTestSrc(t, tc.dir, edited), []*Analyzer{tc.analyzer})
+
+		b, a := countFor(before, tc.surfaced), countFor(after, tc.surfaced)
+		if a != b+1 {
+			t.Fatalf("%s: deleting the suppression changed matching diagnostics %d -> %d, want +1",
+				tc.dir, b, a)
+		}
+	}
+}
+
+// Re-introducing a panic on a hot path must produce a diagnostic (and so
+// a non-zero driver exit).
+func TestHotPathPanicReintroduction(t *testing.T) {
+	srcs := readTestDir(t, "panicp")
+	edited := map[string]string{}
+	for name, src := range srcs {
+		edited[name] = strings.Replace(src,
+			"func shadow() {",
+			"func hot(x int) int {\n\tif x < 0 {\n\t\tpanic(\"hot\")\n\t}\n\treturn x\n}\n\nfunc shadow() {", 1)
+	}
+	diags := Run(loadTestSrc(t, "panicp", edited), []*Analyzer{unscoped(PanicPath)})
+	if n := countFor(diags, "panic in hot"); n != 1 {
+		t.Fatalf("re-introduced hot-path panic produced %d diagnostics, want 1", n)
+	}
+}
+
+func TestDirectiveMalformations(t *testing.T) {
+	const src = `package p
+
+func a(m map[int]int) int {
+	n := 0
+	//ivlint:allow determinism
+	for range m {
+		n++
+	}
+	//ivlint:allow nosuch — not an analyzer
+	//ivlint:allow determinism —
+	//ivlint:allow panicpath — stale: nothing to suppress here
+	return n
+}
+`
+	pkg := loadTestSrc(t, "p", map[string]string{"p.go": src})
+	suite := Analyzers()
+	for i, a := range suite {
+		suite[i] = unscoped(a)
+	}
+	diags := Run(pkg, suite)
+	for _, want := range []string{
+		"missing the \"— <reason>\" clause", // line 5: no separator
+		"unknown analyzer \"nosuch\"",       // line 9
+		"empty reason",                      // line 10
+		"unused ivlint:allow",               // line 11: well-formed but stale
+		"range over map",                    // line 6: the malformed directive must NOT suppress
+	} {
+		if countFor(diags, want) == 0 {
+			t.Errorf("no diagnostic containing %q in %v", want, diags)
+		}
+	}
+}
+
+func TestScopeMatching(t *testing.T) {
+	if Determinism.AppliesTo("ivleague/internal/ivlint") {
+		t.Fatal("determinism must not apply to the linter itself")
+	}
+	if !PanicPath.AppliesTo("ivleague/internal/layout") {
+		t.Fatal("panicpath must apply to layout")
+	}
+	all := &Analyzer{Name: "x"}
+	if !all.AppliesTo("anything") {
+		t.Fatal("empty scope must match everything")
+	}
+}
+
+// TestLoadAndRunStats exercises the go-list loader end to end on a real
+// package of this module and requires it to be clean (the driver contract:
+// `go run ./cmd/ivlint ./...` exits 0).
+func TestLoadAndRunStats(t *testing.T) {
+	pkgs, err := Load([]string{"ivleague/internal/stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "ivleague/internal/stats" {
+		t.Fatalf("loaded %+v", pkgs)
+	}
+	if diags := Run(pkgs[0], Analyzers()); len(diags) != 0 {
+		t.Fatalf("stats not clean: %v", diags)
+	}
+}

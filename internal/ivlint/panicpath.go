@@ -1,0 +1,67 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPath enforces the panic discipline: construction-time validation
+// (New*/Must*/init) may panic on programming errors, but any panic
+// reachable from a per-access simulation path turns malformed input into
+// a crash the kernel cannot report. Those must return errors instead.
+// Deliberate invariant panics elsewhere carry an //ivlint:allow with the
+// argument for why the condition is unreachable.
+var PanicPath = &Analyzer{
+	Name: "panicpath",
+	Doc: "forbid panics outside construction-time code " +
+		"(New*/new*/Must*/must*/init); hot-path failures must be errors",
+	Packages: []string{
+		"ivleague/internal/cache",
+		"ivleague/internal/pagetable",
+		"ivleague/internal/layout",
+		"ivleague/internal/osmodel",
+		"ivleague/internal/secmem",
+		"ivleague/internal/core",
+		"ivleague/internal/sim",
+		"ivleague/internal/figures",
+		"ivleague/internal/workload",
+	},
+	Run: runPanicPath,
+}
+
+// constructionName reports whether a function name marks construction-time
+// code, where validation panics are accepted.
+func constructionName(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+}
+
+func runPanicPath(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || constructionName(fn.Name.Name) {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if b, ok := p.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true // shadowed identifier, not the builtin
+				}
+				p.Reportf(call.Pos(), "panic in %s is reachable outside construction; "+
+					"return an error the simulation kernel can report", name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package aliasing exercises the configaliasing analyzer's golden
+// diagnostics.
+package aliasing
+
+import "ivleague/internal/config"
+
+type leaky struct {
+	cfg *config.Config    // want `struct field retains \*config\.Config across construction`
+	sim *config.SimConfig // want `struct field retains \*config\.SimConfig across construction`
+}
+
+type clean struct {
+	cfg config.Config // value copy: fine
+}
+
+func tweak(cfg *config.Config) {
+	cfg.Sim.Seed = 1 // want `write through shared \*config\.Config`
+}
+
+func bump(cfg *config.Config) {
+	cfg.Threads++ // want `write through shared \*config\.Config`
+}
+
+func clobber(cfg *config.Config) {
+	*cfg = config.Config{} // want `write through shared \*config\.Config`
+}
+
+func derive(cfg *config.Config) config.Config {
+	c := *cfg
+	c.Sim.Seed = 2 // mutation of the machine's own value copy: fine
+	return c
+}
+
+func rebind(cfg *config.Config) {
+	cfg = nil // rebinding the local pointer variable mutates nothing shared
+	_ = cfg
+}

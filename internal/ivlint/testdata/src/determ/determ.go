@@ -1,0 +1,71 @@
+// Package determ exercises the determinism analyzer's golden diagnostics.
+package determ
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func env() string {
+	return os.Getenv("IVSIM_SEED") // want `os\.Getenv makes results depend on the environment`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the process-global source`
+}
+
+func seeded() int {
+	// Explicitly-seeded generators are deterministic and allowed.
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func sumKeys(m map[string]int) int {
+	s := 0
+	for k := range m { // want `range over map has nondeterministic order`
+		s += m[k]
+	}
+	return s
+}
+
+func sumSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func sortedHelper[M ~map[K]V, K comparable, V any](m M) int {
+	n := 0
+	for range m { // want `range over map has nondeterministic order`
+		n++
+	}
+	return n
+}
+
+func countAllowed(m map[string]int) int {
+	n := 0
+	//ivlint:allow determinism — counting keys is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func countAllowedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //ivlint:allow determinism — counting keys is order-independent
+		n++
+	}
+	return n
+}

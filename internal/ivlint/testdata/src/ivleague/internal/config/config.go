@@ -1,0 +1,15 @@
+// Package config is a stub of ivleague/internal/config for hermetic
+// analyzer tests: the configaliasing analyzer matches types by this
+// import path and the Config/SimConfig names.
+package config
+
+// SimConfig stubs the simulation knobs.
+type SimConfig struct {
+	Seed uint64
+}
+
+// Config stubs the top-level configuration.
+type Config struct {
+	Sim     SimConfig
+	Threads int
+}

@@ -1,0 +1,23 @@
+// Package rand is a stub of math/rand for hermetic analyzer tests.
+package rand
+
+// Source is a stub seed source.
+type Source struct{}
+
+// NewSource builds a deterministic source from an explicit seed.
+func NewSource(seed int64) *Source { return &Source{} }
+
+// Rand is a stub generator.
+type Rand struct{}
+
+// New builds a generator over an explicit source.
+func New(src *Source) *Rand { return &Rand{} }
+
+// Intn draws from the explicitly-seeded generator.
+func (r *Rand) Intn(n int) int { return 0 }
+
+// Intn draws from the process-global source.
+func Intn(n int) int { return 0 }
+
+// Int63 draws from the process-global source.
+func Int63() int64 { return 0 }

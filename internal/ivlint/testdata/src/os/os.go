@@ -1,0 +1,9 @@
+// Package os is a stub of the standard library package for hermetic
+// analyzer tests.
+package os
+
+// Getenv stubs the environment lookup.
+func Getenv(key string) string { return "" }
+
+// LookupEnv stubs the environment lookup.
+func LookupEnv(key string) (string, bool) { return "", false }

@@ -1,0 +1,45 @@
+// Package panicp exercises the panicpath analyzer's golden diagnostics.
+package panicp
+
+// Thing is a stand-in for a simulator component.
+type Thing struct{ n int }
+
+// NewThing may panic: construction-time validation.
+func NewThing(n int) *Thing {
+	if n <= 0 {
+		panic("panicp: non-positive size")
+	}
+	return &Thing{n: n}
+}
+
+// mustSize may panic: must-helpers are construction-time by convention.
+func mustSize(n int) int {
+	if n <= 0 {
+		panic("panicp: bad size")
+	}
+	return n
+}
+
+// Access is a hot path: a panic here crashes the simulation kernel.
+func (t *Thing) Access(i int) int {
+	if i < 0 || i >= t.n {
+		panic("panicp: index out of range") // want `panic in Access is reachable outside construction`
+	}
+	return i
+}
+
+// checked carries the suppression form: the panic stays, with a reason.
+func (t *Thing) checked(i int) int {
+	if i >= t.n {
+		//ivlint:allow panicpath — callers are bounded by the validated construction size
+		panic("panicp: unreachable for validated inputs")
+	}
+	return i
+}
+
+// shadow uses a local identifier named panic; the analyzer must only
+// match the builtin.
+func shadow() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,18 @@
+// Package time is a stub of the standard library package for hermetic
+// analyzer tests: only the identity of the symbols matters.
+package time
+
+// Time is a stub instant.
+type Time struct{}
+
+// Duration is a stub duration.
+type Duration int64
+
+// Now stubs the wall-clock read.
+func Now() Time { return Time{} }
+
+// Since stubs the wall-clock delta.
+func Since(t Time) Duration { return 0 }
+
+// Until stubs the wall-clock delta.
+func Until(t Time) Duration { return 0 }

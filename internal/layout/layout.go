@@ -38,6 +38,7 @@ type Layout struct {
 	NodesPerTreeLing int
 	levelOff         []int // top-down node-index offset per level (index by level, 1..H)
 	levelCnt         []int
+	levelOfNode      []int // node index → level, precomputed (O(1) LevelOf)
 
 	// NFL region: per-TreeLing free-list blocks.
 	NFLBase              uint64
@@ -94,6 +95,12 @@ func New(cfg *config.Config) *Layout {
 		cnt *= a
 	}
 	l.NodesPerTreeLing = idx
+	l.levelOfNode = make([]int, l.NodesPerTreeLing)
+	for level := 1; level <= h; level++ {
+		for i := 0; i < l.levelCnt[level]; i++ {
+			l.levelOfNode[l.levelOff[level]+i] = level
+		}
+	}
 
 	l.TreeLingBase = l.GlobalTreeBase + l.globalTreeNodes*config.BlockBytes
 	forestBytes := uint64(l.TreeLingCount) * uint64(l.NodesPerTreeLing) * config.BlockBytes
@@ -117,11 +124,24 @@ func New(cfg *config.Config) *Layout {
 }
 
 // CounterBlockAddr returns the physical address of page pfn's counter block.
-func (l *Layout) CounterBlockAddr(pfn uint64) uint64 {
+func (l *Layout) CounterBlockAddr(pfn uint64) (uint64, error) {
 	if pfn >= l.Pages {
-		panic(fmt.Sprintf("layout: pfn %d out of range", pfn))
+		return 0, fmt.Errorf("layout: pfn %d out of range", pfn)
 	}
-	return l.CounterBase + pfn*config.BlockBytes
+	return l.CounterBase + pfn*config.BlockBytes, nil
+}
+
+// PFNOfCounterAddr is the inverse of CounterBlockAddr: it recovers the page
+// whose counter block lives at addr.
+func (l *Layout) PFNOfCounterAddr(addr uint64) (uint64, error) {
+	if addr < l.CounterBase || addr >= l.GlobalTreeBase {
+		return 0, fmt.Errorf("layout: address %#x outside the counter region", addr)
+	}
+	off := addr - l.CounterBase
+	if off%config.BlockBytes != 0 {
+		return 0, fmt.Errorf("layout: address %#x not counter-block aligned", addr)
+	}
+	return off / config.BlockBytes, nil
 }
 
 // GlobalLevelCount returns the number of nodes at a global-tree level
@@ -142,27 +162,23 @@ func (l *Layout) GlobalNodeIndex(pfn uint64, level int) uint64 {
 
 // GlobalNodeAddr returns the physical address of global tree node (level,
 // idx).
-func (l *Layout) GlobalNodeAddr(level int, idx uint64) uint64 {
+func (l *Layout) GlobalNodeAddr(level int, idx uint64) (uint64, error) {
 	if level < 1 || level > l.GlobalLevels {
-		panic(fmt.Sprintf("layout: global level %d out of range", level))
+		return 0, fmt.Errorf("layout: global level %d out of range", level)
 	}
 	if idx >= l.globalLevelCnt[level] {
-		panic(fmt.Sprintf("layout: global node %d/%d out of range", level, idx))
+		return 0, fmt.Errorf("layout: global node %d/%d out of range", level, idx)
 	}
-	return l.GlobalTreeBase + (l.globalLevelOff[level]+idx)*config.BlockBytes
+	return l.GlobalTreeBase + (l.globalLevelOff[level]+idx)*config.BlockBytes, nil
 }
 
 // TreeLing node indexing ----------------------------------------------------
 
 // LevelOf returns the TreeLing level (1 = leaves .. H = root) of a
-// top-down node index.
+// top-down node index in [0, NodesPerTreeLing). The lookup table makes it
+// O(1) on the verification hot path.
 func (l *Layout) LevelOf(nodeIdx int) int {
-	for level := l.TreeLingHeight; level >= 1; level-- {
-		if nodeIdx < l.levelOff[level]+l.levelCnt[level] {
-			return level
-		}
-	}
-	panic(fmt.Sprintf("layout: node index %d out of range", nodeIdx))
+	return l.levelOfNode[nodeIdx]
 }
 
 // LevelNodeCount returns the number of nodes at a TreeLing level.
@@ -172,10 +188,10 @@ func (l *Layout) LevelNodeCount(level int) int { return l.levelCnt[level] }
 func (l *Layout) LevelOffset(level int) int { return l.levelOff[level] }
 
 // NodeIndex returns the top-down node index of the i-th node at a level.
+// Callers must pass i in [0, LevelNodeCount(level)); out-of-range indices
+// are caught when the node index is converted to an address
+// (TreeLingNodeAddr), the single validation boundary.
 func (l *Layout) NodeIndex(level, i int) int {
-	if i < 0 || i >= l.levelCnt[level] {
-		panic(fmt.Sprintf("layout: node %d at level %d out of range", i, level))
-	}
 	return l.levelOff[level] + i
 }
 
@@ -209,23 +225,45 @@ func (l *Layout) Child(nodeIdx, slot int) (child int, ok bool) {
 
 // TreeLingNodeAddr returns the physical address of node nodeIdx of
 // TreeLing tl.
-func (l *Layout) TreeLingNodeAddr(tl, nodeIdx int) uint64 {
+func (l *Layout) TreeLingNodeAddr(tl, nodeIdx int) (uint64, error) {
 	if tl < 0 || tl >= l.TreeLingCount {
-		panic(fmt.Sprintf("layout: TreeLing %d out of range", tl))
+		return 0, fmt.Errorf("layout: TreeLing %d out of range", tl)
 	}
 	if nodeIdx < 0 || nodeIdx >= l.NodesPerTreeLing {
-		panic(fmt.Sprintf("layout: node %d out of range", nodeIdx))
+		return 0, fmt.Errorf("layout: node %d out of range", nodeIdx)
 	}
-	return l.TreeLingBase + (uint64(tl)*uint64(l.NodesPerTreeLing)+uint64(nodeIdx))*config.BlockBytes
+	return l.TreeLingBase + (uint64(tl)*uint64(l.NodesPerTreeLing)+uint64(nodeIdx))*config.BlockBytes, nil
+}
+
+// TreeLingNodeOfAddr is the inverse of TreeLingNodeAddr: it recovers the
+// (TreeLing, node) pair whose block lives at addr.
+func (l *Layout) TreeLingNodeOfAddr(addr uint64) (tl, nodeIdx int, err error) {
+	if addr < l.TreeLingBase || addr >= l.NFLBase {
+		return 0, 0, fmt.Errorf("layout: address %#x outside the TreeLing forest", addr)
+	}
+	off := addr - l.TreeLingBase
+	if off%config.BlockBytes != 0 {
+		return 0, 0, fmt.Errorf("layout: address %#x not node-block aligned", addr)
+	}
+	blk := off / config.BlockBytes
+	tl = int(blk / uint64(l.NodesPerTreeLing))
+	nodeIdx = int(blk % uint64(l.NodesPerTreeLing))
+	if tl >= l.TreeLingCount {
+		return 0, 0, fmt.Errorf("layout: address %#x past the last TreeLing", addr)
+	}
+	return tl, nodeIdx, nil
 }
 
 // NFLBlockAddr returns the physical address of NFL block blockIdx of
 // TreeLing tl.
-func (l *Layout) NFLBlockAddr(tl, blockIdx int) uint64 {
-	if blockIdx < 0 || blockIdx >= l.NFLBlocksPerTreeLing {
-		panic(fmt.Sprintf("layout: NFL block %d out of range", blockIdx))
+func (l *Layout) NFLBlockAddr(tl, blockIdx int) (uint64, error) {
+	if tl < 0 || tl >= l.TreeLingCount {
+		return 0, fmt.Errorf("layout: TreeLing %d out of range", tl)
 	}
-	return l.NFLBase + (uint64(tl)*uint64(l.NFLBlocksPerTreeLing)+uint64(blockIdx))*config.BlockBytes
+	if blockIdx < 0 || blockIdx >= l.NFLBlocksPerTreeLing {
+		return 0, fmt.Errorf("layout: NFL block %d out of range", blockIdx)
+	}
+	return l.NFLBase + (uint64(tl)*uint64(l.NFLBlocksPerTreeLing)+uint64(blockIdx))*config.BlockBytes, nil
 }
 
 // PTEAddr returns a synthetic physical address for the extended PTE of

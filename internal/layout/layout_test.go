@@ -12,6 +12,18 @@ func testLayout() *Layout {
 	return New(&cfg)
 }
 
+// mustFn returns an unwrapper for the layout's (addr, error) results; the
+// closure's parameters match the result list exactly so calls compose.
+func mustFn(t *testing.T) func(uint64, error) uint64 {
+	return func(a uint64, err error) uint64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+}
+
 func TestRegionsDisjointAndOrdered(t *testing.T) {
 	l := testLayout()
 	if !(l.DataBytes <= l.CounterBase && l.CounterBase < l.GlobalTreeBase &&
@@ -85,10 +97,11 @@ func TestLeafHasNoChild(t *testing.T) {
 
 func TestAddressesDistinct(t *testing.T) {
 	l := testLayout()
+	must := mustFn(t)
 	seen := map[uint64]bool{}
 	for tl := 0; tl < 3; tl++ {
 		for n := 0; n < l.NodesPerTreeLing; n++ {
-			a := l.TreeLingNodeAddr(tl, n)
+			a := must(l.TreeLingNodeAddr(tl, n))
 			if seen[a] {
 				t.Fatalf("duplicate node address %#x", a)
 			}
@@ -100,7 +113,7 @@ func TestAddressesDistinct(t *testing.T) {
 	}
 	for tl := 0; tl < 3; tl++ {
 		for b := 0; b < l.NFLBlocksPerTreeLing; b++ {
-			a := l.NFLBlockAddr(tl, b)
+			a := must(l.NFLBlockAddr(tl, b))
 			if seen[a] {
 				t.Fatalf("NFL block address %#x collides", a)
 			}
@@ -122,8 +135,9 @@ func TestGlobalTreeConverges(t *testing.T) {
 
 func TestGlobalNodeAddrInRegion(t *testing.T) {
 	l := testLayout()
+	must := mustFn(t)
 	for level := 1; level <= l.GlobalLevels; level++ {
-		a := l.GlobalNodeAddr(level, 0)
+		a := must(l.GlobalNodeAddr(level, 0))
 		if a < l.GlobalTreeBase || a >= l.TreeLingBase {
 			t.Fatalf("global node address %#x outside region", a)
 		}
@@ -132,17 +146,50 @@ func TestGlobalNodeAddrInRegion(t *testing.T) {
 
 func TestCounterAddrs(t *testing.T) {
 	l := testLayout()
-	a0 := l.CounterBlockAddr(0)
-	a1 := l.CounterBlockAddr(1)
+	must := mustFn(t)
+	a0 := must(l.CounterBlockAddr(0))
+	a1 := must(l.CounterBlockAddr(1))
 	if a1-a0 != config.BlockBytes {
 		t.Fatal("counter blocks not contiguous")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range pfn did not panic")
+	if _, err := l.CounterBlockAddr(l.Pages); err == nil {
+		t.Fatal("out-of-range pfn did not return an error")
+	}
+}
+
+func TestAddrErrorsNotPanics(t *testing.T) {
+	l := testLayout()
+	if _, err := l.TreeLingNodeAddr(-1, 0); err == nil {
+		t.Fatal("negative TreeLing accepted")
+	}
+	if _, err := l.TreeLingNodeAddr(0, l.NodesPerTreeLing); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := l.NFLBlockAddr(0, l.NFLBlocksPerTreeLing); err == nil {
+		t.Fatal("out-of-range NFL block accepted")
+	}
+	if _, err := l.GlobalNodeAddr(0, 0); err == nil {
+		t.Fatal("level 0 accepted by GlobalNodeAddr")
+	}
+}
+
+func TestAddrInverses(t *testing.T) {
+	l := testLayout()
+	must := mustFn(t)
+	for _, pfn := range []uint64{0, 1, l.Pages - 1} {
+		a := must(l.CounterBlockAddr(pfn))
+		got, err := l.PFNOfCounterAddr(a)
+		if err != nil || got != pfn {
+			t.Fatalf("PFNOfCounterAddr(%#x) = %d, %v; want %d", a, got, err, pfn)
 		}
-	}()
-	l.CounterBlockAddr(l.Pages)
+	}
+	for _, tc := range [][2]int{{0, 0}, {1, 5}, {2, l.NodesPerTreeLing - 1}} {
+		a := must(l.TreeLingNodeAddr(tc[0], tc[1]))
+		tl, node, err := l.TreeLingNodeOfAddr(a)
+		if err != nil || tl != tc[0] || node != tc[1] {
+			t.Fatalf("TreeLingNodeOfAddr(%#x) = (%d,%d,%v); want (%d,%d)", a, tl, node, err, tc[0], tc[1])
+		}
+	}
 }
 
 func TestPTEAddrStaysInRegion(t *testing.T) {

@@ -21,10 +21,11 @@ var ErrOutOfMemory = errors.New("osmodel: out of physical memory")
 // are recycled LIFO, which creates the address-reuse patterns that
 // exercise the NFL deallocation paths.
 type FrameAllocator struct {
-	lo, hi uint64
-	next   uint64
-	free   []uint64
-	inUse  uint64
+	lo, hi  uint64
+	next    uint64
+	free    []uint64
+	freeSet map[uint64]bool // mirrors free for O(1) double-free detection
+	inUse   uint64
 
 	Allocs stats.Counter
 	Frees  stats.Counter
@@ -35,7 +36,7 @@ func NewFrameAllocator(lo, hi uint64) *FrameAllocator {
 	if hi <= lo {
 		panic("osmodel: empty frame range")
 	}
-	return &FrameAllocator{lo: lo, hi: hi, next: lo}
+	return &FrameAllocator{lo: lo, hi: hi, next: lo, freeSet: make(map[uint64]bool)}
 }
 
 // Alloc returns a free frame.
@@ -43,6 +44,7 @@ func (f *FrameAllocator) Alloc() (uint64, error) {
 	if n := len(f.free); n > 0 {
 		pfn := f.free[n-1]
 		f.free = f.free[:n-1]
+		delete(f.freeSet, pfn)
 		f.inUse++
 		f.Allocs.Inc()
 		return pfn, nil
@@ -58,13 +60,21 @@ func (f *FrameAllocator) Alloc() (uint64, error) {
 }
 
 // Free returns a frame to the allocator.
-func (f *FrameAllocator) Free(pfn uint64) {
+func (f *FrameAllocator) Free(pfn uint64) error {
 	if pfn < f.lo || pfn >= f.hi {
-		panic(fmt.Sprintf("osmodel: freeing frame %d outside [%d,%d)", pfn, f.lo, f.hi))
+		return fmt.Errorf("osmodel: freeing frame %d outside [%d,%d)", pfn, f.lo, f.hi)
+	}
+	if pfn >= f.next {
+		return fmt.Errorf("osmodel: freeing never-allocated frame %d", pfn)
+	}
+	if f.freeSet[pfn] {
+		return fmt.Errorf("osmodel: double free of frame %d", pfn)
 	}
 	f.free = append(f.free, pfn)
+	f.freeSet[pfn] = true
 	f.inUse--
 	f.Frees.Inc()
+	return nil
 }
 
 // InUse returns the number of frames currently allocated.
@@ -112,7 +122,9 @@ func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
-	p.Table.Map(vpn, pfn)
+	if err := p.Table.Map(vpn, pfn); err != nil {
+		return 0, false, err
+	}
 	p.PagesMapped.Inc()
 	if p.OnPageMap != nil {
 		p.OnPageMap(p.DomainID, vpn, pfn)
@@ -120,20 +132,24 @@ func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
 	return pfn, true, nil
 }
 
-// Unmap releases vpn if mapped, returning whether it was.
-func (p *Process) Unmap(vpn uint64) bool {
+// Unmap releases vpn if mapped, reporting whether it was. The error path
+// covers frame-accounting corruption (freeing a frame outside the
+// allocator's range), which must fail the run instead of crashing it.
+func (p *Process) Unmap(vpn uint64) (bool, error) {
 	pte := p.Table.Lookup(vpn)
 	if pte == nil {
-		return false
+		return false, nil
 	}
 	pfn := pte.PFN
 	if p.OnPageUnmap != nil {
 		p.OnPageUnmap(p.DomainID, vpn, pfn)
 	}
 	p.Table.Unmap(vpn)
-	p.frames.Free(pfn)
+	if err := p.frames.Free(pfn); err != nil {
+		return false, err
+	}
 	p.PagesFreed.Inc()
-	return true
+	return true, nil
 }
 
 // Mapped returns the number of currently mapped pages.

@@ -42,14 +42,18 @@ func TestFrameExhaustion(t *testing.T) {
 	}
 }
 
-func TestFreeOutOfRangePanics(t *testing.T) {
+func TestFreeOutOfRangeErrors(t *testing.T) {
 	f := NewFrameAllocator(0, 3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range free did not panic")
-		}
-	}()
-	f.Free(5)
+	if err := f.Free(5); err == nil {
+		t.Fatal("out-of-range free did not return an error")
+	}
+	a, _ := f.Alloc()
+	if err := f.Free(a); err != nil {
+		t.Fatalf("valid free errored: %v", err)
+	}
+	if err := f.Free(a); err == nil {
+		t.Fatal("double free did not return an error")
+	}
 }
 
 func TestProcessTouchAndUnmap(t *testing.T) {
@@ -75,14 +79,14 @@ func TestProcessTouchAndUnmap(t *testing.T) {
 	if mapped != 1 {
 		t.Fatalf("map hook fired %d times", mapped)
 	}
-	if !p.Unmap(42) {
-		t.Fatal("unmap failed")
+	if ok, err := p.Unmap(42); !ok || err != nil {
+		t.Fatalf("unmap failed: ok=%v err=%v", ok, err)
 	}
 	if unmapped != 1 || p.Mapped() != 0 || frames.InUse() != 0 {
 		t.Fatal("unmap bookkeeping wrong")
 	}
-	if p.Unmap(42) {
-		t.Fatal("double unmap succeeded")
+	if ok, err := p.Unmap(42); ok || err != nil {
+		t.Fatalf("double unmap: ok=%v err=%v", ok, err)
 	}
 }
 

@@ -97,15 +97,16 @@ func (t *Table) walk(vpn uint64, create bool) *PTE {
 	return &n.ptes[t.index(vpn, last)]
 }
 
-// Map installs a translation vpn→pfn. Mapping an already-present VPN is a
-// logic error and panics.
-func (t *Table) Map(vpn, pfn uint64) {
+// Map installs a translation vpn→pfn. Mapping an already-present VPN is an
+// error (callers must Unmap first).
+func (t *Table) Map(vpn, pfn uint64) error {
 	pte := t.walk(vpn, true)
 	if pte.Present {
-		panic(fmt.Sprintf("pagetable: vpn %#x already mapped", vpn))
+		return fmt.Errorf("pagetable: vpn %#x already mapped", vpn)
 	}
 	*pte = PTE{PFN: pfn, Present: true}
 	t.mapped++
+	return nil
 }
 
 // Unmap removes a translation, returning the old PTE.
@@ -131,12 +132,13 @@ func (t *Table) Lookup(vpn uint64) *PTE {
 }
 
 // SetLeafID updates the LMM field of a mapped page.
-func (t *Table) SetLeafID(vpn, leafID uint64) {
+func (t *Table) SetLeafID(vpn, leafID uint64) error {
 	pte := t.Lookup(vpn)
 	if pte == nil {
-		panic(fmt.Sprintf("pagetable: SetLeafID on unmapped vpn %#x", vpn))
+		return fmt.Errorf("pagetable: SetLeafID on unmapped vpn %#x", vpn)
 	}
 	pte.LeafID = leafID
+	return nil
 }
 
 // TLB is a set-associative translation lookaside buffer over VPNs. On

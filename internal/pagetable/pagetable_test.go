@@ -26,15 +26,21 @@ func TestMapLookupUnmap(t *testing.T) {
 	}
 }
 
-func TestDoubleMapPanics(t *testing.T) {
+func TestDoubleMapErrors(t *testing.T) {
 	pt := New(IvLeagueLevels)
-	pt.Map(5, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double map did not panic")
-		}
-	}()
-	pt.Map(5, 2)
+	if err := pt.Map(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(5, 2); err == nil {
+		t.Fatal("double map did not return an error")
+	}
+}
+
+func TestSetLeafIDUnmappedErrors(t *testing.T) {
+	pt := New(IvLeagueLevels)
+	if err := pt.SetLeafID(9, 1); err == nil {
+		t.Fatal("SetLeafID on unmapped vpn did not return an error")
+	}
 }
 
 func TestBadLevelWidthsPanic(t *testing.T) {

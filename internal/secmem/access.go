@@ -23,7 +23,10 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		}
 		c.pageSlots[pfn] = slot
 		c.lmm.Access(domain, vpn, true) // install the LMM entry
-		lat := c.replayOps(now)
+		lat, err := c.replayOps(now)
+		if err != nil {
+			return 0, err
+		}
 		// A fresh TreeLing's NFL initialization (dozens of block writes)
 		// runs in the background; only a bounded portion serializes with
 		// the faulting access.
@@ -57,8 +60,10 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 	}
 }
 
-// OnPageUnmap releases a page's metadata when the OS unmaps it.
-func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) int {
+// OnPageUnmap releases a page's metadata when the OS unmaps it. An error
+// (freeing an unknown or already-free slot) means the OS and the scheme
+// disagree about the page's state; the caller must fail the run.
+func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, error) {
 	delete(c.pageVPN, pfn)
 	c.counters.Drop(pfn)
 	if c.ivc != nil {
@@ -68,7 +73,7 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) int {
 			slot = rs
 		}
 		if err := c.ivc.FreePage(domain, pfn, slot, &c.ops); err != nil {
-			panic(fmt.Sprintf("secmem: FreePage: %v", err))
+			return 0, fmt.Errorf("secmem: FreePage: %w", err)
 		}
 		delete(c.pageSlots, pfn)
 		c.lmm.Invalidate(domain, vpn)
@@ -77,7 +82,7 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) int {
 	if c.global != nil {
 		c.global.Update(pfn, c.counters.Snapshot(pfn))
 	}
-	return 0
+	return 0, nil
 }
 
 // Access models one LLC-miss memory transaction through the secure-memory
@@ -124,7 +129,11 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 		if ns, migrated := c.ivc.OnAccess(domain, pfn, slot, &c.ops); migrated {
 			slot = ns
 		}
-		lat += c.replayOps(now)
+		rlat, err := c.replayOps(now)
+		if err != nil {
+			return 0, err
+		}
+		lat += rlat
 	}
 
 	if write {
@@ -145,7 +154,10 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 
 	// The counter address is statically mapped, so its fetch needs no
 	// leaf ID; the PTE read happens only when the verification walk runs.
-	ctrAddr := c.lay.CounterBlockAddr(pfn)
+	ctrAddr, err := c.lay.CounterBlockAddr(pfn)
+	if err != nil {
+		return 0, err
+	}
 	res := c.counterCache.Access(ctrAddr, false)
 	metaLat := res.Latency
 	verified := false
@@ -157,7 +169,11 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 		if lmmMiss && c.ivc != nil {
 			metaLat += c.dram.Access(now, c.lay.PTEAddr(domain, vpn), false)
 		}
-		metaLat += c.verifyWalk(now, domain, pfn, slot)
+		walkLat, err := c.verifyWalk(now, domain, pfn, slot)
+		if err != nil {
+			return 0, err
+		}
+		metaLat += walkLat
 		verified = true
 	}
 	if verified && c.functional {
@@ -185,7 +201,10 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 // overflow), update the leaf tree node, write the encrypted data back.
 func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, dataAddr uint64, slot core.SlotID, lat int) (int, error) {
 	c.DataWrites.Inc()
-	metaLat, _ := c.counterFetch(now, domain, pfn, slot, true)
+	metaLat, _, err := c.counterFetch(now, domain, pfn, slot, true)
+	if err != nil {
+		return 0, err
+	}
 	lat += metaLat
 
 	if overflow := c.counters.Increment(pfn, block); overflow {
@@ -203,7 +222,11 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 
 	// Update the tree node holding this counter block's hash, up to the
 	// first on-chip level (dirty in the tree cache).
-	lat += c.updateLeafNode(now, domain, pfn, slot)
+	leafLat, err := c.updateLeafNode(now, domain, pfn, slot)
+	if err != nil {
+		return 0, err
+	}
+	lat += leafLat
 	lat += c.engine.MACLatency() // MAC regeneration (pipelined)
 
 	// Posted encrypted-data write.
@@ -225,49 +248,64 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 // counterFetch accesses the page's counter block through the counter
 // cache; a miss fetches it from memory and triggers a verification walk.
 // It returns the latency and whether a verification walk happened.
-func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.SlotID, write bool) (int, bool) {
-	ctrAddr := c.lay.CounterBlockAddr(pfn)
+func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.SlotID, write bool) (int, bool, error) {
+	ctrAddr, err := c.lay.CounterBlockAddr(pfn)
+	if err != nil {
+		return 0, false, err
+	}
 	res := c.counterCache.Access(ctrAddr, write)
 	lat := res.Latency
 	if res.EvictedDirty {
 		c.dram.Access(now, res.WritebackAddr, true)
 	}
 	if res.Hit {
-		return lat, false
+		return lat, false, nil
 	}
 	lat += c.dram.Access(now, ctrAddr, false)
-	lat += c.verifyWalk(now, domain, pfn, slot)
-	return lat, true
+	walkLat, err := c.verifyWalk(now, domain, pfn, slot)
+	if err != nil {
+		return 0, false, err
+	}
+	return lat + walkLat, true, nil
 }
 
 // verifyWalk walks the integrity path from the page's first tree node
 // toward the root, reading and hashing every node until one is found in
 // the (trusted, on-chip) tree cache. The number of node blocks read from
 // memory is the Figure 16 path-length metric.
-func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.SlotID) int {
+func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.SlotID) (int, error) {
 	c.Verifications.Inc()
 	lat := 0
 	pathLen := 0
-	step := func(addr uint64) bool {
+	// step composes with the layout's (addr, error) results; a malformed
+	// path address aborts the walk instead of charging bogus traffic.
+	step := func(addr uint64, aerr error) (bool, error) {
+		if aerr != nil {
+			return false, aerr
+		}
 		res := c.treeCache.Access(addr, false)
 		lat += res.Latency
 		if res.EvictedDirty {
 			c.dram.Access(now, res.WritebackAddr, true)
 		}
 		if res.Hit {
-			return true // trusted on-chip copy ends the walk
+			return true, nil // trusted on-chip copy ends the walk
 		}
 		lat += c.dram.Access(now, addr, false)
 		lat += c.engine.HashLatency()
 		pathLen++
-		return false
+		return false, nil
 	}
 	switch {
 	case c.ivc != nil:
 		c.pathBuf = c.ivc.PathNodes(slot, c.pathBuf[:0])
 		tl := slot.TreeLing()
 		for _, node := range c.pathBuf {
-			if step(c.lay.TreeLingNodeAddr(tl, node)) {
+			done, err := step(c.lay.TreeLingNodeAddr(tl, node))
+			if err != nil {
+				return 0, err
+			}
+			if done {
 				break
 			}
 		}
@@ -280,24 +318,32 @@ func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.Sl
 		}
 		for level := 1; level <= top; level++ {
 			idx := c.lay.GlobalNodeIndex(pfn, level)
-			if step(c.lay.GlobalNodeAddr(level, idx)) {
+			done, err := step(c.lay.GlobalNodeAddr(level, idx))
+			if err != nil {
+				return 0, err
+			}
+			if done {
 				break
 			}
 		}
 	}
 	c.pathHist(domain).Observe(pathLen)
-	return lat
+	return lat, nil
 }
 
 // updateLeafNode marks the tree node holding the page's counter hash
 // dirty in the tree cache (fetching it on a miss), modelling the write
 // path's tree update up to the cached level.
-func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot core.SlotID) int {
+func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot core.SlotID) (int, error) {
 	var addr uint64
+	var err error
 	if c.ivc != nil {
-		addr = c.lay.TreeLingNodeAddr(slot.TreeLing(), slot.Node())
+		addr, err = c.lay.TreeLingNodeAddr(slot.TreeLing(), slot.Node())
 	} else {
-		addr = c.lay.GlobalNodeAddr(1, c.lay.GlobalNodeIndex(pfn, 1))
+		addr, err = c.lay.GlobalNodeAddr(1, c.lay.GlobalNodeIndex(pfn, 1))
+	}
+	if err != nil {
+		return 0, err
 	}
 	res := c.treeCache.Access(addr, true)
 	lat := res.Latency
@@ -307,7 +353,7 @@ func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot cor
 	if !res.Hit {
 		lat += c.dram.Access(now, addr, false)
 	}
-	return lat + c.engine.HashLatency()
+	return lat + c.engine.HashLatency(), nil
 }
 
 // functionalVerify checks the real hash chain for pfn.
@@ -327,7 +373,15 @@ func (c *Controller) functionalVerify(pfn uint64, slot core.SlotID) error {
 // the domain controller (NFL reads/writes, node hash moves, TreeLing
 // initialization). TreeLing-node traffic goes through the tree cache;
 // NFL and PTE traffic goes straight to DRAM (the NFLB is its only cache).
-func (c *Controller) replayOps(now uint64) int {
+//
+// It is the single checkpoint for address errors latched by the OpList: if
+// any emission site produced a malformed address, no traffic is charged
+// and the error is returned.
+func (c *Controller) replayOps(now uint64) (int, error) {
+	if err := c.ops.Err(); err != nil {
+		c.ops.Reset()
+		return 0, err
+	}
 	lat := 0
 	for _, op := range c.ops.Ops {
 		if op.Addr >= c.lay.TreeLingBase && op.Addr < c.lay.NFLBase {
@@ -344,7 +398,7 @@ func (c *Controller) replayOps(now uint64) int {
 		lat += c.dram.Access(now, op.Addr, op.Write)
 	}
 	c.ops.Reset()
-	return lat
+	return lat, nil
 }
 
 // EvictMetadata invalidates a metadata line from the tree cache (the

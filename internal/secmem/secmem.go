@@ -29,7 +29,10 @@ import (
 // It is not safe for concurrent use; the simulation kernel serializes
 // accesses.
 type Controller struct {
-	cfg        *config.Config
+	// cfg is a private copy: retaining the caller's *config.Config would
+	// let later caller-side mutations leak into this machine (the
+	// configaliasing hazard), breaking run-to-run reproducibility.
+	cfg        config.Config
 	scheme     config.Scheme
 	lay        *layout.Layout
 	dram       *dram.Model
@@ -95,7 +98,7 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 	}
 	lay := layout.New(cfg)
 	c := &Controller{
-		cfg:       cfg,
+		cfg:       *cfg,
 		scheme:    scheme,
 		lay:       lay,
 		dram:      dram.New(cfg.DRAM),
@@ -108,7 +111,11 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 	for _, o := range opts {
 		o(c)
 	}
-	c.counterCache = cache.New(cfg.SecureMem.CounterCache, cfg.Sim.Seed^1, 0)
+	var err error
+	c.counterCache, err = cache.New(cfg.SecureMem.CounterCache, cfg.Sim.Seed^1, 0)
+	if err != nil {
+		return nil, err
+	}
 	reserved := 0
 	if scheme.IsIvLeague() && !cfg.IvLeague.DynamicRootLock {
 		// Static root locking: way-partition the tree cache for the
@@ -117,16 +124,29 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 		// ways and frees the reserved region (Section VIII).
 		reserved = cfg.IvLeague.RootLockWays
 	}
-	c.treeCache = cache.New(cfg.SecureMem.TreeCache, cfg.Sim.Seed^2, reserved)
+	c.treeCache, err = cache.New(cfg.SecureMem.TreeCache, cfg.Sim.Seed^2, reserved)
+	if err != nil {
+		return nil, err
+	}
 
 	switch {
 	case scheme.IsIvLeague():
 		if c.functional {
 			c.forest = tree.NewForest(lay)
 		}
-		c.ivc = core.NewController(cfg, lay, ivMode(scheme), c.forest)
+		mode, err := ivMode(scheme)
+		if err != nil {
+			return nil, err
+		}
+		c.ivc, err = core.NewController(cfg, lay, mode, c.forest)
+		if err != nil {
+			return nil, err
+		}
 		c.ivc.SetLeafUpdater(leafUpdater{c})
-		c.lmm = core.NewLMMCache(cfg.IvLeague.LMMCache, cfg.Sim.Seed^3)
+		c.lmm, err = core.NewLMMCache(cfg.IvLeague.LMMCache, cfg.Sim.Seed^3)
+		if err != nil {
+			return nil, err
+		}
 	case scheme == config.SchemeStaticPartition:
 		if partitions <= 0 || partitions&(partitions-1) != 0 {
 			return nil, fmt.Errorf("secmem: partition count %d must be a positive power of two", partitions)
@@ -152,20 +172,20 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 	return c, nil
 }
 
-func ivMode(s config.Scheme) core.Mode {
+func ivMode(s config.Scheme) (core.Mode, error) {
 	switch s {
 	case config.SchemeIvLeagueBasic:
-		return core.ModeBasic
+		return core.ModeBasic, nil
 	case config.SchemeIvLeagueInvert:
-		return core.ModeInvert
+		return core.ModeInvert, nil
 	case config.SchemeIvLeaguePro:
-		return core.ModePro
+		return core.ModePro, nil
 	case config.SchemeBVv1:
-		return core.ModeBVv1
+		return core.ModeBVv1, nil
 	case config.SchemeBVv2:
-		return core.ModeBVv2
+		return core.ModeBVv2, nil
 	default:
-		panic("secmem: not an IvLeague scheme")
+		return 0, fmt.Errorf("secmem: %v is not an IvLeague scheme", s)
 	}
 }
 
@@ -245,7 +265,9 @@ func (c *Controller) DestroyDomain(id int) error {
 	case c.ivc != nil:
 		c.ops.Reset()
 		err := c.ivc.DestroyDomain(id, &c.ops)
-		c.replayOps(0)
+		if _, rerr := c.replayOps(0); rerr != nil && err == nil {
+			err = rerr
+		}
 		return err
 	case c.scheme == config.SchemeStaticPartition:
 		delete(c.partOf, id)

@@ -183,7 +183,11 @@ func TestMetadataIsolationIvLeague(t *testing.T) {
 		mapPage(t, c, dom, p, p)
 		slot, _ := c.SlotOf(p)
 		for _, n := range c.IvLeague().PathNodes(slot, nil) {
-			touched[dom][lay.TreeLingNodeAddr(slot.TreeLing(), n)] = true
+			a, err := lay.TreeLingNodeAddr(slot.TreeLing(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			touched[dom][a] = true
 		}
 	}
 	for a := range touched[1] {
@@ -359,7 +363,10 @@ func TestEvictMetadataPrimitive(t *testing.T) {
 	mapPage(t, c, 1, 4, 4)
 	c.Access(0, 1, 4, 4, 0, false) // loads tree nodes
 	lay := c.Layout()
-	addr := lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(4, 1))
+	addr, err := lay.GlobalNodeAddr(1, lay.GlobalNodeIndex(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !c.EvictMetadata(addr) {
 		t.Fatal("leaf node was not cached after access")
 	}

@@ -79,6 +79,6 @@ func ReplayMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix, r io.
 	c := *cfg
 	c.Sim.WarmupInstr = 0
 	c.Sim.MeasureInstr = maxLen
-	m.cfg = &c
+	m.cfg = c
 	return m.Run(), nil
 }

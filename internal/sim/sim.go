@@ -51,7 +51,9 @@ type thread struct {
 
 // Machine is a configured simulated system running one workload mix.
 type Machine struct {
-	cfg     *config.Config
+	// cfg is a private copy: holding the caller's *config.Config would let
+	// later mutations alias into a running machine (configaliasing).
+	cfg     config.Config
 	scheme  config.Scheme
 	mem     *secmem.Controller
 	l3      *cache.Cache
@@ -95,11 +97,14 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		return nil, err
 	}
 	m := &Machine{
-		cfg:    cfg,
+		cfg:    *cfg,
 		scheme: scheme,
 		mem:    mem,
-		l3:     cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0),
 		owners: make(map[uint64]owner),
+	}
+	m.l3, err = cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0)
+	if err != nil {
+		return nil, err
 	}
 	lay := mem.Layout()
 	if scheme == config.SchemeStaticPartition {
@@ -144,14 +149,22 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 				core:  coreIdx,
 				bench: prof.Name,
 				tlb:   pagetable.NewTLB(cfg.Core.TLBEntries, 8),
-				l1:    cache.New(cfg.L1, cfg.Sim.Seed^uint64(coreIdx)<<16, 0),
-				l2:    cache.New(cfg.L2, cfg.Sim.Seed^uint64(coreIdx)<<24, 0),
+			}
+			if t.l1, err = cache.New(cfg.L1, cfg.Sim.Seed^uint64(coreIdx)<<16, 0); err != nil {
+				return nil, err
+			}
+			if t.l2, err = cache.New(cfg.L2, cfg.Sim.Seed^uint64(coreIdx)<<24, 0); err != nil {
+				return nil, err
 			}
 			dom := domain
 			t.tlb.OnEvict = func(vpn uint64) { mem.TLBEvicted(dom, vpn) }
 			gen.OnFreeRange = func(vpnStart uint64, n int) {
 				for v := vpnStart; v < vpnStart+uint64(n); v++ {
-					if t.proc.Unmap(v) {
+					ok, err := t.proc.Unmap(v)
+					if err != nil && m.pendingErr == nil {
+						m.pendingErr = err
+					}
+					if ok {
 						t.tlb.Invalidate(v)
 					}
 				}
@@ -173,7 +186,11 @@ func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
 }
 
 func (m *Machine) onPageUnmap(domain int, vpn, pfn uint64) {
-	m.pendingLat += m.mem.OnPageUnmap(m.now(), domain, vpn, pfn)
+	lat, err := m.mem.OnPageUnmap(m.now(), domain, vpn, pfn)
+	m.pendingLat += lat
+	if err != nil && m.pendingErr == nil {
+		m.pendingErr = err
+	}
 	delete(m.owners, pfn)
 }
 
@@ -198,6 +215,13 @@ func (m *Machine) RecordTrace(w io.Writer) *trace.Writer {
 // step advances one thread by one instruction.
 func (m *Machine) step(t *thread) error {
 	ev := t.gen.Next()
+	// Churn-phase unmaps run inside Next (OnFreeRange); surface any error
+	// they latched before acting on the event.
+	if m.pendingErr != nil {
+		err := m.pendingErr
+		m.pendingErr = nil
+		return fmt.Errorf("sim: %s: %w", t.bench, err)
+	}
 	t.instret++
 	cc := m.cfg.Core
 	if !ev.Mem {

@@ -4,11 +4,28 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
+
+// SortedKeys returns m's keys in ascending order. Go randomizes map
+// iteration order, so any loop whose effects can reach simulation state or
+// an emitted table must iterate over a sorted key slice instead; this
+// helper is the canonical way to do it (the determinism contract is
+// enforced by cmd/ivlint).
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	//ivlint:allow determinism — keys are sorted before any consumer sees them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // Counter is a simple monotonically increasing event counter.
 type Counter struct {

@@ -370,6 +370,7 @@ func mix(name string, class Class, names ...string) Mix {
 	for _, n := range names {
 		p, err := ByName(n)
 		if err != nil {
+			//ivlint:allow panicpath — static Table II entries resolve at package init; a typo here is a programming error
 			panic(err)
 		}
 		m.Procs = append(m.Procs, p)
