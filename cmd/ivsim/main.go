@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ivleague/internal/config"
+	"ivleague/internal/faults"
 	"ivleague/internal/sim"
 	"ivleague/internal/workload"
 )
@@ -24,6 +26,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	traceOut := flag.String("trace-out", "", "record the access trace to this file")
 	traceIn := flag.String("trace-in", "", "replay a recorded trace instead of the generators")
+	injectSpec := flag.String("inject", "",
+		"inject a fault as class@op (classes: "+liveClassNames()+"); the run reports whether the scheme detected it")
+	crashAt := flag.Uint64("crash-at", 0, "kill the run at this op, recover from the persisted image and check state equality")
 	flag.Parse()
 
 	scheme, err := parseScheme(*schemeName)
@@ -46,6 +51,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -crash-at 0 (power loss before the first op) is meaningful, so the
+	// flag's presence, not its value, selects the crash path.
+	crashSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "crash-at" {
+			crashSet = true
+		}
+	})
+	if crashSet {
+		if err := faults.CrashRecoveryCheck(&cfg, scheme, mix, *crashAt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("crash at op %d under %s: recovered state matches a clean rerun and serves verified traffic\n",
+			*crashAt, scheme)
+		return
+	}
+	var inj *faults.SimInjection
+	if *injectSpec != "" {
+		var err error
+		if inj, err = parseInject(*injectSpec, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	var res sim.Result
 	switch {
 	case *traceIn != "":
@@ -55,7 +86,7 @@ func main() {
 			os.Exit(2)
 		}
 		defer f.Close()
-		res, err = sim.ReplayMix(&cfg, scheme, mix, f)
+		res, err = sim.ReplayMix(&cfg, scheme, mix, f, inj.MachineOptions()...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -66,7 +97,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		m, err := sim.NewMachine(&cfg, scheme, mix, 0)
+		m, err := sim.NewMachine(&cfg, scheme, mix, 0, inj.MachineOptions()...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -80,13 +111,21 @@ func main() {
 		f.Close()
 		fmt.Printf("trace: %d records -> %s\n", w.Count(), *traceOut)
 	default:
-		res = sim.RunMix(&cfg, scheme, mix)
+		res = sim.RunMix(&cfg, scheme, mix, inj.MachineOptions()...)
 	}
 	fmt.Printf("mix %s under %s (footprint %d MB, %d procs)\n",
 		mix.Name, scheme, mix.FootprintMB(), len(mix.Procs))
+	if res.Tampered && inj != nil {
+		fmt.Printf("TAMPER DETECTED (injected %s from op %d): %s\n", inj.Class, inj.AtOp, res.FailMsg)
+		return
+	}
 	if res.Failed {
 		fmt.Printf("RUN FAILED: %s\n", res.FailMsg)
 		os.Exit(1)
+	}
+	if inj != nil {
+		fmt.Printf("injection %s from op %d: run completed undetected (benign class, no target, or never re-verified)\n",
+			inj.Class, inj.AtOp)
 	}
 	for i, b := range res.Bench {
 		fmt.Printf("  core %d %-14s IPC %.4f\n", i, b, res.IPC[i])
@@ -112,6 +151,35 @@ func main() {
 	if scheme == config.SchemeStaticPartition {
 		fmt.Printf("partition swaps:      %d\n", res.Swaps)
 	}
+}
+
+func liveClassNames() string {
+	var names []string
+	for _, c := range faults.LiveClasses() {
+		names = append(names, string(c))
+	}
+	return strings.Join(names, ", ")
+}
+
+func parseInject(spec string, seed uint64) (*faults.SimInjection, error) {
+	cls, opStr, ok := strings.Cut(spec, "@")
+	if !ok {
+		return nil, fmt.Errorf("-inject wants class@op, got %q", spec)
+	}
+	var class faults.Class
+	for _, c := range faults.LiveClasses() {
+		if string(c) == cls {
+			class = c
+		}
+	}
+	if class == "" {
+		return nil, fmt.Errorf("unknown or non-live fault class %q (want one of: %s)", cls, liveClassNames())
+	}
+	op, err := strconv.ParseUint(opStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("-inject op %q: %v", opStr, err)
+	}
+	return &faults.SimInjection{Class: class, AtOp: op, Seed: seed}, nil
 }
 
 func parseScheme(s string) (config.Scheme, error) {

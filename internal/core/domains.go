@@ -371,6 +371,22 @@ func (c *Controller) allocSlot(d *Domain, ops *OpList) (SlotID, error) {
 				// with the next entry in this block.
 				continue
 			}
+			// Cross-check against the per-TreeLing metadata: the NFL and
+			// the occupied bitmap are redundant views of the same state, so
+			// an availability bit naming an occupied slot means the NFL
+			// image in memory was tampered with (a stale or flipped entry).
+			if m := d.meta[tl]; m != nil && m.occupied[node]&(1<<uint(slot)) != 0 {
+				return InvalidSlot, &tree.IntegrityError{
+					Class:    tree.ViolationNFL,
+					Domain:   d.id,
+					TreeLing: tl,
+					Level:    c.lay.LevelOf(node),
+					Node:     node,
+					Slot:     slot,
+					Addr:     c.nflBlockAddr(r.tl, r.blockBase+b),
+					Detail:   "NFL offers a slot the assignment metadata records as occupied",
+				}
+			}
 			d.nflb.Access(c.lay, r.tl, r.blockBase+b, true, ops)
 			return MakeSlot(tl, node, slot), nil
 		}
@@ -378,16 +394,40 @@ func (c *Controller) allocSlot(d *Domain, ops *OpList) (SlotID, error) {
 	}
 }
 
-// markOccupied records a page mapping in the per-TreeLing metadata.
-func (c *Controller) markOccupied(d *Domain, slot SlotID) {
-	m := d.meta[slot.TreeLing()]
-	m.occupied[slot.Node()] |= 1 << uint(slot.Slot())
+// nflBlockAddr resolves an NFL block address for diagnostics, swallowing
+// the (impossible for tracked regions) range error.
+func (c *Controller) nflBlockAddr(tl, block int) uint64 {
+	a, err := c.lay.NFLBlockAddr(tl, block)
+	if err != nil {
+		return 0
+	}
+	return a
 }
 
-// clearOccupied removes a page mapping record.
+// markOccupied records a page mapping in the per-TreeLing metadata. A slot
+// naming a TreeLing the domain does not own (possible only with a
+// corrupted LMM entry) is ignored: tamper must surface as a verification
+// error, never as a crash.
+func (c *Controller) markOccupied(d *Domain, slot SlotID) {
+	if m := d.meta[slot.TreeLing()]; m != nil {
+		m.occupied[slot.Node()] |= 1 << uint(slot.Slot())
+	}
+}
+
+// clearOccupied removes a page mapping record (tolerating foreign
+// TreeLings like markOccupied).
 func (c *Controller) clearOccupied(d *Domain, slot SlotID) {
-	m := d.meta[slot.TreeLing()]
-	m.occupied[slot.Node()] &^= 1 << uint(slot.Slot())
+	if m := d.meta[slot.TreeLing()]; m != nil {
+		m.occupied[slot.Node()] &^= 1 << uint(slot.Slot())
+	}
+}
+
+// leakSlot accounts an untrackable slot deallocation.
+func (c *Controller) leakSlot(d *Domain, tl int) {
+	if m := d.meta[tl]; m != nil {
+		m.leaked++
+	}
+	c.Untracked.Inc()
 }
 
 // FreePage releases a page's slot on deallocation using the NFL in-place
@@ -452,8 +492,7 @@ func (c *Controller) releaseRegular(d *Domain, slot SlotID, ops *OpList) {
 			return
 		}
 	}
-	d.meta[slot.TreeLing()].leaked++
-	c.Untracked.Inc()
+	c.leakSlot(d, slot.TreeLing())
 }
 
 // releaseHot returns a τhot slot to its TreeLing's hot NFL.
@@ -470,8 +509,7 @@ func (c *Controller) releaseHot(d *Domain, slot SlotID, ops *OpList) {
 			}
 		}
 	}
-	d.meta[slot.TreeLing()].leaked++
-	c.Untracked.Inc()
+	c.leakSlot(d, slot.TreeLing())
 }
 
 // MappedPages returns the number of pages currently mapped in a domain.
@@ -527,6 +565,92 @@ func (c *Controller) Utilization() (util float64, untracked int) {
 		return 1, leaked
 	}
 	return 1 - float64(leaked)/float64(totalSlots), leaked
+}
+
+// ResetStats clears the controller's event counters, including every
+// domain's NFLB hit/miss counters, without touching assignment state
+// (end-of-warmup semantics; ResetStats ≡ fresh construction for the
+// statistics accessors).
+func (c *Controller) ResetStats() {
+	c.Assignments.Reset()
+	c.Untracked.Reset()
+	c.Conversions.Reset()
+	c.Migrations.Reset()
+	c.MigrationsBack.Reset()
+	c.AllocFailures.Reset()
+	for _, id := range stats.SortedKeys(c.domains) {
+		nflb := c.domains[id].nflb
+		nflb.Hits.Reset()
+		nflb.Misses.Reset()
+	}
+}
+
+// DomainIDs returns the live domain IDs in ascending order.
+func (c *Controller) DomainIDs() []int { return stats.SortedKeys(c.domains) }
+
+// UnassignedTreeLings returns the TreeLing IDs currently in the
+// unassigned FIFO, in pop order.
+func (c *Controller) UnassignedTreeLings() []int {
+	return append([]int(nil), c.unassigned[c.fifoHead:]...)
+}
+
+// TamperNFLAvail flips one availability bit in a domain's in-memory NFL
+// image — the fault injector's model of a corrupted or stale NFL entry.
+// With set=true it re-offers a slot the metadata records as occupied
+// (detected at the next allocation by the allocSlot cross-check); with
+// set=false it hides a free slot (undetectable by design: the slot is
+// merely lost capacity). Candidates are enumerated deterministically from
+// the frontier block forward so the corruption sits where allocation will
+// actually look; pick indexes into that candidate list. It returns a
+// description of the flipped bit, or ok=false when the domain has no
+// matching candidate (e.g. no occupied slots yet).
+func (c *Controller) TamperNFLAvail(domainID int, set bool, pick uint64) (tl, node, slot int, ok bool) {
+	d := c.domains[domainID]
+	if d == nil || d.space == nil || len(d.space.regions) == 0 {
+		return 0, 0, 0, false
+	}
+	type cand struct {
+		e        *nflEntry
+		slotBit  int
+		tl, node int
+	}
+	var cands []cand
+	ri, fb := d.space.clampedFrontier()
+	for ; ri < len(d.space.regions); ri, fb = ri+1, 0 {
+		r := d.space.regions[ri]
+		for b := fb; b < r.nBlocks; b++ {
+			es := d.space.block(r, b)
+			for i := range es {
+				e := &es[i]
+				if e.tag < 0 {
+					continue
+				}
+				etl, enode := unpackTag(e.tag)
+				m := d.meta[etl]
+				if m == nil {
+					continue
+				}
+				for s := 0; s < c.arity; s++ {
+					bit := uint8(1) << uint(s)
+					occupied := m.occupied[enode]&bit != 0
+					avail := e.avail&bit != 0
+					if (set && occupied && !avail) || (!set && avail) {
+						cands = append(cands, cand{e, s, etl, enode})
+					}
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return 0, 0, 0, false
+	}
+	ch := cands[pick%uint64(len(cands))]
+	if set {
+		ch.e.avail |= 1 << uint(ch.slotBit)
+	} else {
+		ch.e.avail &^= 1 << uint(ch.slotBit)
+	}
+	return ch.tl, ch.node, ch.slotBit, true
 }
 
 // PathNodes appends the top-down node indices on the verification path of

@@ -8,6 +8,7 @@ package ctr
 
 import (
 	"fmt"
+	"sort"
 
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
@@ -109,4 +110,39 @@ func (s *Store) Snapshot(pfn uint64) Block {
 		return *b
 	}
 	return Block{}
+}
+
+// PFNs returns the page frame numbers with materialized counter blocks in
+// ascending order.
+func (s *Store) PFNs() []uint64 {
+	pfns := make([]uint64, 0, len(s.blocks))
+	for pfn := range s.blocks {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	return pfns
+}
+
+// Clone deep-copies the store — the persisted counter image of a crash
+// snapshot. Statistics counters are carried over.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		minorBits:  s.minorBits,
+		minorMax:   s.minorMax,
+		blocks:     make(map[uint64]*Block, len(s.blocks)),
+		Increments: s.Increments,
+		Overflows:  s.Overflows,
+	}
+	for pfn, b := range s.blocks {
+		cp := *b
+		c.blocks[pfn] = &cp
+	}
+	return c
+}
+
+// ResetStats clears the increment/overflow counters, keeping the counter
+// blocks themselves (they are architectural state, not statistics).
+func (s *Store) ResetStats() {
+	s.Increments.Reset()
+	s.Overflows.Reset()
 }

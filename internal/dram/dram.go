@@ -152,11 +152,27 @@ func (m *Model) RowHitRate() float64 {
 	return stats.Ratio(m.RowHits.Value(), m.RowHits.Value()+m.RowMisses.Value())
 }
 
-// ResetStats clears the statistics counters but keeps bank state.
+// ResetStats clears the statistics counters but keeps bank state: the
+// end-of-warmup boundary wants clean numbers over a warm memory system.
 func (m *Model) ResetStats() {
 	m.Reads.Reset()
 	m.Writes.Reset()
 	m.RowHits.Reset()
 	m.RowMisses.Reset()
 	m.TotalLatency.Reset()
+}
+
+// Reset returns the model to its just-constructed state: statistics,
+// per-bank open-row/busy state and queue pressure all cleared. Crash
+// recovery uses this — DRAM timing state does not survive power loss, so a
+// recovered machine must start from cold banks, not the crashed run's.
+func (m *Model) Reset() {
+	m.ResetStats()
+	for i := range m.banks {
+		m.banks[i] = bank{}
+	}
+	for i := range m.queueLen {
+		m.queueLen[i] = 0
+		m.queueDecay[i] = 0
+	}
 }

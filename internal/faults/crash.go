@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ivleague/internal/config"
+	"ivleague/internal/secmem"
+	"ivleague/internal/sim"
+	"ivleague/internal/workload"
+)
+
+// This file is the crash model: a run is killed at op k (power loss), the
+// off-chip image is persisted, and recovery rebuilds every on-chip
+// structure from it — NFL frontiers and NFLB, LMM cache, TreeLing roots —
+// Phoenix-style. The check is state equality: the recovered controller's
+// canonical digest must be byte-identical to that of an independent clean
+// machine stopped at the same op.
+
+// crashAt returns a machine option that kills the run at op k.
+func crashAt(k uint64) sim.MachineOption {
+	return sim.WithOpHook(func(m *sim.Machine, op uint64) error {
+		if op >= k {
+			return sim.ErrCrashInjected
+		}
+		return nil
+	})
+}
+
+// runToCrash builds a functional machine for (cfg, scheme, mix), runs it
+// and stops it at op k, returning the machine.
+func runToCrash(cfg *config.Config, scheme config.Scheme, mix workload.Mix, k uint64) (*sim.Machine, error) {
+	m, err := sim.NewMachine(cfg, scheme, mix, 0, sim.WithFunctionalMem(), crashAt(k))
+	if err != nil {
+		return nil, err
+	}
+	res := m.Run()
+	if !errors.Is(m.FailCause(), sim.ErrCrashInjected) {
+		if res.Failed {
+			return nil, fmt.Errorf("faults: run under %v failed before op %d: %s", scheme, k, res.FailMsg)
+		}
+		return nil, fmt.Errorf("faults: run under %v completed (%d ops) before crash op %d", scheme, m.OpCount(), k)
+	}
+	return m, nil
+}
+
+// firstDiff locates the first differing line of two digests, for readable
+// failure messages.
+func firstDiff(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(la), len(lb))
+}
+
+// CrashRecoveryCheck crashes a run of (cfg, scheme, mix) at op k, recovers
+// a controller from the persisted image and asserts it byte-identical (by
+// canonical state digest) to an independent clean machine stopped at the
+// same op. It then exercises the recovered controller — verified reads of
+// mapped pages, a fresh page map, a write/read round trip — so recovery is
+// shown live, not just equal.
+func CrashRecoveryCheck(cfg *config.Config, scheme config.Scheme, mix workload.Mix, k uint64) error {
+	crashed, err := runToCrash(cfg, scheme, mix, k)
+	if err != nil {
+		return err
+	}
+	img, err := crashed.Mem().Persist()
+	if err != nil {
+		return fmt.Errorf("faults: persist under %v: %w", scheme, err)
+	}
+	rec, err := secmem.Recover(cfg, img)
+	if err != nil {
+		return fmt.Errorf("faults: recover under %v at op %d: %w", scheme, k, err)
+	}
+
+	// Determinism baseline: an independent machine stopped at the same op.
+	clean, err := runToCrash(cfg, scheme, mix, k)
+	if err != nil {
+		return err
+	}
+	dCrashed := crashed.Mem().StateDigest()
+	dClean := clean.Mem().StateDigest()
+	if !bytes.Equal(dCrashed, dClean) {
+		return fmt.Errorf("faults: %v at op %d: two identical runs diverged (%s)", scheme, k, firstDiff(dCrashed, dClean))
+	}
+	dRec := rec.StateDigest()
+	if !bytes.Equal(dRec, dClean) {
+		return fmt.Errorf("faults: %v at op %d: recovered state differs from clean rerun (%s)", scheme, k, firstDiff(dRec, dClean))
+	}
+
+	// Liveness: the recovered controller must serve verified traffic.
+	rec.FlushMetadata()
+	pages := rec.MappedPages()
+	probe := pages
+	if len(probe) > 8 {
+		probe = probe[:8]
+	}
+	for _, p := range probe {
+		if _, _, err := rec.ReadData(0, p.Domain, p.VPN, p.PFN, 0); err != nil {
+			return fmt.Errorf("faults: %v at op %d: recovered read of pfn %d: %w", scheme, k, p.PFN, err)
+		}
+	}
+	if len(pages) > 0 {
+		p := pages[0]
+		payload := make([]byte, config.BlockBytes)
+		for i := range payload {
+			payload[i] = byte(i*7 + 3)
+		}
+		if _, err := rec.WriteData(0, p.Domain, p.VPN, p.PFN, 1, payload); err != nil {
+			return fmt.Errorf("faults: %v at op %d: recovered write: %w", scheme, k, err)
+		}
+		got, _, err := rec.ReadData(0, p.Domain, p.VPN, p.PFN, 1)
+		if err != nil {
+			return fmt.Errorf("faults: %v at op %d: recovered read-back: %w", scheme, k, err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("faults: %v at op %d: recovered read-back returned wrong plaintext", scheme, k)
+		}
+
+		// Map a fresh page through the recovered NFL frontier.
+		maxPFN := uint64(0)
+		maxVPN := uint64(0)
+		for _, q := range pages {
+			if q.PFN > maxPFN {
+				maxPFN = q.PFN
+			}
+			if q.Domain == p.Domain && q.VPN > maxVPN {
+				maxVPN = q.VPN
+			}
+		}
+		if maxPFN+1 < rec.Layout().Pages {
+			if _, err := rec.OnPageMap(0, p.Domain, maxVPN+1, maxPFN+1); err != nil {
+				return fmt.Errorf("faults: %v at op %d: recovered page map: %w", scheme, k, err)
+			}
+		}
+	}
+	return nil
+}

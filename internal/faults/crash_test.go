@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"ivleague/internal/config"
+	"ivleague/internal/rng"
+	"ivleague/internal/workload"
+)
+
+func crashCfg() config.Config {
+	cfg := config.Default()
+	cfg.DRAM.SizeBytes = 4 << 30
+	cfg.IvLeague.TreeLingCount = 512
+	cfg.Sim.WarmupInstr = 8_000
+	cfg.Sim.MeasureInstr = 8_000
+	return cfg
+}
+
+func crashMix(t *testing.T) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName("S-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCrashRecovery kills runs of all three IvLeague schemes (plus the
+// baseline's global tree) at randomized ops and asserts the recovered
+// state byte-identical to a clean rerun stopped at the same op.
+func TestCrashRecovery(t *testing.T) {
+	cfg := crashCfg()
+	mix := crashMix(t)
+	schemes := []config.Scheme{
+		config.SchemeIvLeagueBasic,
+		config.SchemeIvLeagueInvert,
+		config.SchemeIvLeaguePro,
+		config.SchemeBaseline,
+	}
+	perScheme := 3
+	if testing.Short() {
+		schemes = schemes[:1]
+		perScheme = 1
+	}
+	r := rng.New(2024).ForkString("crash-at")
+	for _, scheme := range schemes {
+		for i := 0; i < perScheme; i++ {
+			k := 64 + r.Uint64n(12_000)
+			if err := CrashRecoveryCheck(&cfg, scheme, mix, k); err != nil {
+				t.Errorf("crash at op %d: %v", k, err)
+			}
+		}
+	}
+}
+
+// TestCrashAtOpZero is the boundary case: power loss before the first op.
+// The image is the freshly constructed state and must still round-trip.
+func TestCrashAtOpZero(t *testing.T) {
+	cfg := crashCfg()
+	if err := CrashRecoveryCheck(&cfg, config.SchemeIvLeaguePro, crashMix(t), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashBeyondRun pins the harness's behaviour when k exceeds the run:
+// a clear error naming the op counts, not a silent pass.
+func TestCrashBeyondRun(t *testing.T) {
+	cfg := crashCfg()
+	cfg.Sim.WarmupInstr = 500
+	cfg.Sim.MeasureInstr = 500
+	err := CrashRecoveryCheck(&cfg, config.SchemeIvLeagueBasic, crashMix(t), 1<<40)
+	if err == nil {
+		t.Fatal("expected an error for a crash op beyond the run")
+	}
+	if !strings.Contains(err.Error(), "completed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ivleague/internal/analysis"
 	"ivleague/internal/attack"
 	"ivleague/internal/config"
+	"ivleague/internal/faults"
 	"ivleague/internal/hwcost"
 	"ivleague/internal/rng"
 	"ivleague/internal/sim"
@@ -34,6 +35,12 @@ type Options struct {
 	// own Config copy and generators), so results are byte-identical for
 	// every parallelism level.
 	Parallelism int
+	// Inject, when non-nil, arms live fault injection on every mix run
+	// (the alone runs stay clean — they are the weighted-IPC
+	// denominators). A run that detects the fault is a measured outcome,
+	// rendered as "deg" in the affected tables, never an error. Nil keeps
+	// the exact uninstrumented simulation path.
+	Inject *faults.SimInjection
 }
 
 // PerfSchemes are the four schemes of Figures 15/16/18/19.
@@ -149,7 +156,8 @@ func (rs *RunSet) Fig15() (*stats.Table, error) {
 		}
 		cells := []string{mix.Name}
 		for _, s := range rs.Options.Schemes {
-			w, err := rs.weightedIPC(rs.Results[mix.Name][s])
+			res := rs.Results[mix.Name][s]
+			w, err := rs.weightedIPC(res)
 			if err != nil {
 				return nil, fmt.Errorf("fig15 %s: %w", mix.Name, err)
 			}
@@ -157,7 +165,13 @@ func (rs *RunSet) Fig15() (*stats.Table, error) {
 			if base > 0 {
 				norm = w / base
 			}
-			cells = append(cells, fmt.Sprintf("%.3f", norm))
+			if res.Tampered {
+				// The scheme detected an injected fault and halted: a
+				// degraded, not failed, measurement.
+				cells = append(cells, "deg")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", norm))
+			}
 			if perClass[mix.Class] == nil {
 				perClass[mix.Class] = map[config.Scheme][]float64{}
 			}
@@ -336,6 +350,10 @@ func (rs *RunSet) Fig18() *stats.Table {
 		cells := []string{mix.Name}
 		for _, s := range ivs {
 			res := rs.Results[mix.Name][s]
+			if res.Tampered {
+				cells = append(cells, "deg")
+				continue
+			}
 			cells = append(cells, fmt.Sprintf("%.1f%%", res.NFLBHitRate*100))
 		}
 		t.AddRow(cells...)
@@ -358,6 +376,10 @@ func (rs *RunSet) Fig19() *stats.Table {
 		cells := []string{mix.Name}
 		for _, s := range ivs {
 			r := rs.Results[mix.Name][s]
+			if r.Tampered {
+				cells = append(cells, "deg")
+				continue
+			}
 			if base == 0 || r.Failed {
 				cells = append(cells, "x")
 				continue

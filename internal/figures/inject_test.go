@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"ivleague/internal/faults"
+)
+
+// TestRunWithInjectionCompletes arms live fault injection on the parallel
+// harness: the run set must complete (a detected fault is a measured
+// outcome, never an error), tampered runs must carry the flag, and the
+// affected tables must render them as "deg" cells.
+func TestRunWithInjectionCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := tinyOptions(t, "S-1", "M-6")
+	o.Parallelism = 4
+	o.Inject = &faults.SimInjection{Class: faults.ClassTreeNode, AtOp: 4_000, Seed: 7}
+	rs, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := 0
+	for _, mix := range o.Mixes {
+		for _, s := range o.Schemes {
+			res := rs.Results[mix.Name][s]
+			if res.Tampered {
+				tampered++
+				if !res.Failed {
+					t.Errorf("%s/%v: tampered but not failed", mix.Name, s)
+				}
+			}
+		}
+	}
+	if tampered == 0 {
+		t.Fatal("tree-node injection at op 4000 was detected in no run")
+	}
+	f15, err := rs.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f15.String(), "deg") {
+		t.Fatalf("Fig15 does not mark tampered runs:\n%s", f15)
+	}
+	// The remaining tables must still render.
+	for name, s := range map[string]string{
+		"Fig16": rs.Fig16().String(),
+		"Fig18": rs.Fig18().String(),
+		"Fig19": rs.Fig19().String(),
+	} {
+		if s == "" {
+			t.Errorf("%s rendered empty under injection", name)
+		}
+	}
+}
+
+// TestInjectionDisabledIsByteIdentical pins the acceptance bar: a nil
+// Inject must leave the simulation byte-identical to a build that has
+// never heard of the faults package.
+func TestInjectionDisabledIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := tinyOptions(t, "S-1")
+	o.Cfg.Sim.WarmupInstr = 2_000
+	o.Cfg.Sim.MeasureInstr = 6_000
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Inject = nil // explicit: the default
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRunSet(t, a) != renderRunSet(t, b) {
+		t.Fatal("nil Inject changed the rendered tables")
+	}
+}

@@ -165,7 +165,7 @@ func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob)
 	out := make([]sim.Result, len(jobs))
 	err := o.forEach(len(jobs), func(i int) error {
 		cfg := deriveCfg(jobs[i])
-		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix)
+		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix, o.Inject.MachineOptions()...)
 		if err != nil {
 			return fmt.Errorf("figures: %s: %w", tag, err)
 		}

@@ -33,18 +33,26 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	// Packages lists the import paths the analyzer applies to; the driver
-	// skips packages outside it. Empty means every package.
-	Packages []string
-	Run      func(*Pass)
+	// skips packages outside it. PackagePrefixes extends the scope to every
+	// package whose import path starts with one of the prefixes. Both empty
+	// means every package.
+	Packages        []string
+	PackagePrefixes []string
+	Run             func(*Pass)
 }
 
 // AppliesTo reports whether the analyzer covers the import path.
 func (a *Analyzer) AppliesTo(pkgPath string) bool {
-	if len(a.Packages) == 0 {
+	if len(a.Packages) == 0 && len(a.PackagePrefixes) == 0 {
 		return true
 	}
 	for _, p := range a.Packages {
 		if p == pkgPath {
+			return true
+		}
+	}
+	for _, p := range a.PackagePrefixes {
+		if strings.HasPrefix(pkgPath, p) {
 			return true
 		}
 	}
@@ -53,7 +61,7 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 
 // Analyzers returns the full suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, PanicPath, ConfigAliasing}
+	return []*Analyzer{Determinism, PanicPath, ConfigAliasing, Printcall}
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.

@@ -117,6 +117,7 @@ func loadTestDir(t *testing.T, dir string) *Package {
 func unscoped(a *Analyzer) *Analyzer {
 	c := *a
 	c.Packages = nil
+	c.PackagePrefixes = nil
 	return &c
 }
 
@@ -188,6 +189,10 @@ func TestConfigAliasingGolden(t *testing.T) {
 	checkWants(t, loadTestDir(t, "aliasing"), []*Analyzer{unscoped(ConfigAliasing)})
 }
 
+func TestPrintcallGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "printp"), []*Analyzer{unscoped(Printcall)})
+}
+
 // countFor returns the diagnostics whose message contains substr.
 func countFor(diags []Diagnostic, substr string) int {
 	n := 0
@@ -211,6 +216,7 @@ func TestDeletingSuppressionFails(t *testing.T) {
 	}{
 		{"panicp", unscoped(PanicPath), "//ivlint:allow panicpath", "panic in checked"},
 		{"determ", unscoped(Determinism), "//ivlint:allow determinism — counting keys is order-independent\n", "range over map"},
+		{"printp", unscoped(Printcall), "//ivlint:allow printcall", "fmt.Println writes to stdout"},
 	}
 	for _, tc := range cases {
 		srcs := readTestDir(t, tc.dir)
@@ -299,6 +305,16 @@ func TestScopeMatching(t *testing.T) {
 	all := &Analyzer{Name: "x"}
 	if !all.AppliesTo("anything") {
 		t.Fatal("empty scope must match everything")
+	}
+	if !Printcall.AppliesTo("ivleague/internal/secmem") {
+		t.Fatal("printcall must cover every internal package")
+	}
+	if Printcall.AppliesTo("ivleague/cmd/ivsim") {
+		t.Fatal("printcall must not cover the commands")
+	}
+	pfx := &Analyzer{Name: "y", PackagePrefixes: []string{"a/b/"}}
+	if !pfx.AppliesTo("a/b/c") || pfx.AppliesTo("a/bc") {
+		t.Fatal("prefix scope mismatched")
 	}
 }
 

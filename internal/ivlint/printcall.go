@@ -1,0 +1,65 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Printcall forbids writing to stdout from library packages: every
+// internal package produces data (tables, Results, Diagnostics) that the
+// commands render, so a stray fmt.Print* or builtin println is debugging
+// residue that corrupts the byte-compared figure output. Library output
+// flows through an io.Writer the caller supplies (see Options.Progress in
+// internal/figures); the cmd/ binaries remain free to print.
+var Printcall = &Analyzer{
+	Name: "printcall",
+	Doc: "forbid fmt.Print/Printf/Println and the print/println builtins " +
+		"in library packages; output must flow through a caller-supplied io.Writer",
+	PackagePrefixes: []string{"ivleague/internal/"},
+	Run:             runPrintcall,
+}
+
+// stdoutPrinters are the fmt functions that write to process stdout.
+// Fprint*/Sprint*/Errorf take their destination explicitly and stay legal.
+var stdoutPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runPrintcall(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				obj, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+					return true
+				}
+				if stdoutPrinters[obj.Name()] {
+					p.Reportf(call.Pos(), "fmt.%s writes to stdout from library code; "+
+						"take an io.Writer and use fmt.F%s", obj.Name(), lowerFirst(obj.Name()))
+				}
+			case *ast.Ident:
+				b, ok := p.TypesInfo.Uses[fun].(*types.Builtin)
+				if !ok {
+					return true
+				}
+				if b.Name() == "print" || b.Name() == "println" {
+					p.Reportf(call.Pos(), "builtin %s in library code is debugging residue; "+
+						"take an io.Writer or delete it", b.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lowerFirst lowercases the first byte: Print -> print, for the fmt.Fprint
+// suggestion in the diagnostic.
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]|0x20) + s[1:]
+}

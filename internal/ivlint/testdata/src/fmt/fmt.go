@@ -1,0 +1,25 @@
+// Package fmt is a stub of the standard library package for hermetic
+// analyzer tests: the printcall analyzer matches by import path and
+// function name, so only the names matter here.
+package fmt
+
+// Print stubs the stdout printer.
+func Print(a ...interface{}) (int, error) { return 0, nil }
+
+// Printf stubs the stdout printer.
+func Printf(format string, a ...interface{}) (int, error) { return 0, nil }
+
+// Println stubs the stdout printer.
+func Println(a ...interface{}) (int, error) { return 0, nil }
+
+// Fprintf stubs the destination-explicit printer (legal in libraries).
+func Fprintf(w interface{}, format string, a ...interface{}) (int, error) { return 0, nil }
+
+// Fprintln stubs the destination-explicit printer (legal in libraries).
+func Fprintln(w interface{}, a ...interface{}) (int, error) { return 0, nil }
+
+// Sprintf stubs the string formatter (legal in libraries).
+func Sprintf(format string, a ...interface{}) string { return "" }
+
+// Errorf stubs the error formatter (legal in libraries).
+func Errorf(format string, a ...interface{}) error { return nil }

@@ -1,0 +1,35 @@
+// Package printp exercises the printcall analyzer's golden diagnostics.
+package printp
+
+import "fmt"
+
+// debugDump is the residue the analyzer exists to catch.
+func debugDump(x int) {
+	fmt.Println("x =", x) // want `fmt.Println writes to stdout from library code`
+	fmt.Printf("%d\n", x) // want `fmt.Printf writes to stdout from library code`
+	fmt.Print(x)          // want `fmt.Print writes to stdout from library code`
+	println("quick", x)   // want `builtin println in library code`
+	print(x)              // want `builtin print in library code`
+}
+
+// render is the sanctioned form: the destination is the caller's.
+func render(w interface{}, x int) {
+	fmt.Fprintf(w, "x = %d\n", x)
+	fmt.Fprintln(w, x)
+	_ = fmt.Sprintf("%d", x)
+	_ = fmt.Errorf("x = %d", x)
+}
+
+// beacon carries the suppression form: a deliberate stdout write with the
+// reason on record.
+func beacon() {
+	//ivlint:allow printcall — one-shot startup banner requested by the operator
+	fmt.Println("printp ready")
+}
+
+// shadow declares a local println; the analyzer must only match the
+// builtin.
+func shadow() {
+	println := func(a ...interface{}) {}
+	println("not the builtin")
+}

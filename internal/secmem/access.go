@@ -1,6 +1,7 @@
 package secmem
 
 import (
+	"errors"
 	"fmt"
 
 	"ivleague/internal/config"
@@ -14,6 +15,7 @@ import (
 // frame lies in the domain's partition. It returns the added latency.
 func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, error) {
 	c.pageVPN[pfn] = vpn
+	c.pageDom[pfn] = domain
 	switch {
 	case c.ivc != nil:
 		c.ops.Reset()
@@ -65,6 +67,7 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 // disagree about the page's state; the caller must fail the run.
 func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, error) {
 	delete(c.pageVPN, pfn)
+	delete(c.pageDom, pfn)
 	c.counters.Drop(pfn)
 	if c.ivc != nil {
 		c.ops.Reset()
@@ -177,7 +180,7 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 		verified = true
 	}
 	if verified && c.functional {
-		if err := c.functionalVerify(pfn, slot); err != nil {
+		if err := c.functionalVerify(domain, pfn, slot); err != nil {
 			c.TamperEvents.Inc()
 			return 0, err
 		}
@@ -201,11 +204,20 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 // overflow), update the leaf tree node, write the encrypted data back.
 func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, dataAddr uint64, slot core.SlotID, lat int) (int, error) {
 	c.DataWrites.Inc()
-	metaLat, _, err := c.counterFetch(now, domain, pfn, slot, true)
+	metaLat, walked, err := c.counterFetch(now, domain, pfn, slot, true)
 	if err != nil {
 		return 0, err
 	}
 	lat += metaLat
+	// The fetched counter must be verified before the read-modify-write
+	// below, or a tampered counter would be incremented and re-hashed into
+	// the tree — laundering the tamper instead of detecting it.
+	if walked && c.functional {
+		if err := c.functionalVerify(domain, pfn, slot); err != nil {
+			c.TamperEvents.Inc()
+			return 0, err
+		}
+	}
 
 	if overflow := c.counters.Increment(pfn, block); overflow {
 		// Minor-counter overflow: the whole page is re-encrypted under
@@ -356,17 +368,24 @@ func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot cor
 	return lat + c.engine.HashLatency(), nil
 }
 
-// functionalVerify checks the real hash chain for pfn.
-func (c *Controller) functionalVerify(pfn uint64, slot core.SlotID) error {
+// functionalVerify checks the real hash chain for pfn. A mismatch comes
+// back as a *tree.IntegrityError; the owning domain — which the tree layer
+// does not know — is stamped onto it here.
+func (c *Controller) functionalVerify(domain int, pfn uint64, slot core.SlotID) error {
 	snap := c.counters.Snapshot(pfn)
-	if c.forest != nil && slot != core.InvalidSlot {
-		return c.forest.Verify(slot.TreeLing(), slot.Node(), slot.Slot(),
+	var err error
+	switch {
+	case c.forest != nil && slot != core.InvalidSlot:
+		err = c.forest.Verify(slot.TreeLing(), slot.Node(), slot.Slot(),
 			tree.CounterBlockHash(pfn, snap))
+	case c.global != nil:
+		err = c.global.Verify(pfn, snap)
 	}
-	if c.global != nil {
-		return c.global.Verify(pfn, snap)
+	var ie *tree.IntegrityError
+	if errors.As(err, &ie) && ie.Domain < 0 {
+		ie.Domain = domain
 	}
-	return nil
+	return err
 }
 
 // replayOps charges the metadata-management memory traffic produced by

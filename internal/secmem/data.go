@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ivleague/internal/config"
+	"ivleague/internal/tree"
 )
 
 // ErrMACMismatch is returned when a data block fails authentication
@@ -71,7 +72,17 @@ func (c *Controller) ReadData(now uint64, domain int, vpn, pfn uint64, block int
 	cnt := c.counters.Counter(pfn, block)
 	if got := c.engine.MAC(st.ct[:], addr, cnt); got != st.mac {
 		c.TamperEvents.Inc()
-		return nil, 0, fmt.Errorf("%w at %#x", ErrMACMismatch, addr)
+		return nil, 0, &tree.IntegrityError{
+			Class:    tree.ViolationMAC,
+			Domain:   domain,
+			TreeLing: -1,
+			Level:    -1,
+			Node:     -1,
+			Slot:     -1,
+			Addr:     addr,
+			Detail:   "stored MAC disagrees with recomputed MAC",
+			Err:      ErrMACMismatch,
+		}
 	}
 	plain := make([]byte, config.BlockBytes)
 	c.engine.DecryptBlock(plain, st.ct[:], addr, cnt)

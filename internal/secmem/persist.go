@@ -1,0 +1,198 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ivleague/internal/config"
+	"ivleague/internal/core"
+	"ivleague/internal/ctr"
+	"ivleague/internal/stats"
+	"ivleague/internal/tree"
+)
+
+// This file implements the crash model for the secure-memory controller.
+//
+// Persist captures everything that lives in (simulated) DRAM and
+// therefore survives a power loss: counter blocks, integrity-tree node
+// images, the encrypted data plane with its MACs, the extended-PTE state
+// (page→slot/domain/VPN tables) and the domain controller's persisted
+// image (NFL blocks, assignment metadata). Everything on-chip —
+// metadata caches, the LMM cache, the NFLB, the tree root registers, the
+// NFL head registers — is deliberately absent from the image.
+//
+// Recover builds a cold controller and rebuilds each on-chip structure
+// from the image alone, Phoenix-style: TreeLing roots are recomputed
+// bottom-up (detecting torn images as tree.ViolationTorn), NFL frontiers
+// are re-derived by scanning block contents, and caches restart empty.
+// StateDigest then canonicalizes both controllers' persisted +
+// architectural state so recovery can be asserted byte-identical to a
+// clean rerun.
+
+// Image is the persisted off-chip state of a controller at a crash point.
+type Image struct {
+	scheme    config.Scheme
+	partCount int
+	counters  *ctr.Store
+	datamem   map[uint64]*blockState
+	pageSlots map[uint64]core.SlotID
+	pageVPN   map[uint64]uint64
+	pageDom   map[uint64]int
+	partOf    map[int]int
+	forest    *tree.Forest
+	global    *tree.Global
+	core      *core.Image
+}
+
+// Scheme returns the scheme the image was captured under.
+func (img *Image) Scheme() config.Scheme { return img.scheme }
+
+// Persist captures the controller's persisted (off-chip) state. It
+// requires functional mode: only the functional layer maintains the real
+// metadata a crash image consists of.
+func (c *Controller) Persist() (*Image, error) {
+	if !c.functional {
+		return nil, errors.New("secmem: Persist requires WithFunctional")
+	}
+	img := &Image{
+		scheme:    c.scheme,
+		partCount: c.partCount,
+		counters:  c.counters.Clone(),
+		datamem:   make(map[uint64]*blockState, len(c.datamem)),
+		pageSlots: make(map[uint64]core.SlotID, len(c.pageSlots)),
+		pageVPN:   make(map[uint64]uint64, len(c.pageVPN)),
+		pageDom:   make(map[uint64]int, len(c.pageDom)),
+	}
+	for _, addr := range stats.SortedKeys(c.datamem) {
+		st := *c.datamem[addr]
+		img.datamem[addr] = &st
+	}
+	for _, pfn := range stats.SortedKeys(c.pageSlots) {
+		img.pageSlots[pfn] = c.pageSlots[pfn]
+	}
+	for _, pfn := range stats.SortedKeys(c.pageVPN) {
+		img.pageVPN[pfn] = c.pageVPN[pfn]
+	}
+	for _, pfn := range stats.SortedKeys(c.pageDom) {
+		img.pageDom[pfn] = c.pageDom[pfn]
+	}
+	if c.partOf != nil {
+		img.partOf = make(map[int]int, len(c.partOf))
+		for _, id := range stats.SortedKeys(c.partOf) {
+			img.partOf[id] = c.partOf[id]
+		}
+	}
+	if c.forest != nil {
+		img.forest = c.forest.Clone()
+	}
+	if c.global != nil {
+		img.global = c.global.Clone()
+	}
+	if c.ivc != nil {
+		ci, err := c.ivc.Persist()
+		if err != nil {
+			return nil, err
+		}
+		img.core = ci
+	}
+	return img, nil
+}
+
+// Recover builds a controller from a persisted image: cold caches, NFLB
+// and LMM cache; page tables, counters, data plane and NFL contents
+// restored from the image; and TreeLing / global-tree roots recomputed
+// bottom-up from the persisted nodes. A torn image surfaces as a
+// *tree.IntegrityError (class torn-state).
+func Recover(cfg *config.Config, img *Image, opts ...Option) (*Controller, error) {
+	opts = append(opts, WithFunctional())
+	c, err := New(cfg, img.scheme, img.partCount, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.counters = img.counters.Clone()
+	c.datamem = make(map[uint64]*blockState, len(img.datamem))
+	for _, addr := range stats.SortedKeys(img.datamem) {
+		st := *img.datamem[addr]
+		c.datamem[addr] = &st
+	}
+	for _, pfn := range stats.SortedKeys(img.pageSlots) {
+		c.pageSlots[pfn] = img.pageSlots[pfn]
+	}
+	for _, pfn := range stats.SortedKeys(img.pageVPN) {
+		c.pageVPN[pfn] = img.pageVPN[pfn]
+	}
+	for _, pfn := range stats.SortedKeys(img.pageDom) {
+		c.pageDom[pfn] = img.pageDom[pfn]
+	}
+	if img.partOf != nil {
+		for _, id := range stats.SortedKeys(img.partOf) {
+			c.partOf[id] = img.partOf[id]
+		}
+	}
+	switch {
+	case c.ivc != nil:
+		if img.core == nil || img.forest == nil {
+			return nil, errors.New("secmem: image misses IvLeague state")
+		}
+		c.forest.RestoreFrom(img.forest)
+		if err := c.ivc.Restore(img.core); err != nil {
+			return nil, err
+		}
+		for _, id := range c.ivc.DomainIDs() {
+			for _, tl := range c.ivc.TreeLingsOf(id) {
+				if err := c.forest.RecoverRoot(tl); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		if img.global == nil {
+			return nil, errors.New("secmem: image misses the global tree")
+		}
+		c.global.RestoreFrom(img.global)
+		if _, err := c.global.RecoverRoot(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// StateDigest returns a canonical dump of the controller's persisted and
+// architectural state — counters, data plane, page tables, tree images
+// and roots, and the domain controller's digest — excluding everything
+// volatile (cache contents, statistics, on-chip replacement state). Two
+// controllers whose digests are byte-identical hold equivalent secure-
+// memory state; this is the crash-recovery equality check.
+func (c *Controller) StateDigest() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scheme=%d partitions=%d\n", c.scheme, c.partCount)
+	for _, pfn := range c.counters.PFNs() {
+		blk := c.counters.Snapshot(pfn)
+		fmt.Fprintf(&b, "ctr %d major=%d minors=%x\n", pfn, blk.Major, blk.Minors)
+	}
+	for _, addr := range stats.SortedKeys(c.datamem) {
+		st := c.datamem[addr]
+		fmt.Fprintf(&b, "data %#x mac=%x ct=%x\n", addr, st.mac, st.ct)
+	}
+	for _, ref := range c.MappedPages() {
+		fmt.Fprintf(&b, "page pfn=%d dom=%d vpn=%d slot=%x\n", ref.PFN, ref.Domain, ref.VPN, uint64(c.pageSlots[ref.PFN]))
+	}
+	for _, id := range stats.SortedKeys(c.partOf) {
+		fmt.Fprintf(&b, "part %d=%d\n", id, c.partOf[id])
+	}
+	if c.ivc != nil {
+		c.ivc.WriteStateDigest(&b)
+	}
+	if c.forest != nil && c.ivc != nil {
+		for _, id := range c.ivc.DomainIDs() {
+			for _, tl := range c.ivc.TreeLingsOf(id) {
+				fmt.Fprintf(&b, "forest tl=%d root=%x nodes=%x\n", tl, c.forest.Root(tl), c.forest.DigestTreeLing(tl))
+			}
+		}
+	}
+	if c.global != nil {
+		fmt.Fprintf(&b, "global root=%x nodes=%x\n", c.global.Root(), c.global.DigestImage())
+	}
+	return b.Bytes()
+}

@@ -58,6 +58,9 @@ type Controller struct {
 	// pageVPN tracks the inverse mapping the hardware keeps for EPC-style
 	// metadata, needed for out-of-band LMM updates (Pro migration).
 	pageVPN map[uint64]uint64
+	// pageDom records the owning domain of every mapped frame, so faults
+	// and recovery can attribute metadata to domains.
+	pageDom map[uint64]int
 
 	// Static partitioning state.
 	partOf    map[int]int // domainID → partition index
@@ -106,6 +109,7 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 		counters:  ctr.NewStore(cfg.SecureMem.MinorBits),
 		pageSlots: make(map[uint64]core.SlotID),
 		pageVPN:   make(map[uint64]uint64),
+		pageDom:   make(map[uint64]int),
 		PathLen:   make(map[int]*stats.Histogram),
 	}
 	for _, o := range opts {
@@ -239,6 +243,27 @@ func (c *Controller) SlotOf(pfn uint64) (core.SlotID, bool) {
 	return s, ok
 }
 
+// Functional reports whether the functional crypto/integrity layer is on.
+func (c *Controller) Functional() bool { return c.functional }
+
+// PageRef identifies one mapped page frame and its owner, the unit the
+// fault injector picks targets from.
+type PageRef struct {
+	Domain int
+	VPN    uint64
+	PFN    uint64
+}
+
+// MappedPages returns every mapped frame in ascending PFN order.
+func (c *Controller) MappedPages() []PageRef {
+	pfns := stats.SortedKeys(c.pageDom)
+	refs := make([]PageRef, len(pfns))
+	for i, pfn := range pfns {
+		refs[i] = PageRef{Domain: c.pageDom[pfn], VPN: c.pageVPN[pfn], PFN: pfn}
+	}
+	return refs
+}
+
 // CreateDomain registers a new IV domain with the scheme.
 func (c *Controller) CreateDomain(id int) error {
 	switch {
@@ -306,12 +331,20 @@ func (c *Controller) pathHist(domain int) *stats.Histogram {
 func (c *Controller) MemAccesses() uint64 { return c.dram.Accesses() }
 
 // ResetStats clears statistics (end of warmup) without touching state.
+// Every subsystem with stats accessors is covered — DRAM, both metadata
+// caches, the LMM cache, the counter store and the domain controller
+// (including per-domain NFLB hit/miss counters) — so post-warmup figures
+// measure only the measurement window.
 func (c *Controller) ResetStats() {
 	c.dram.ResetStats()
 	c.counterCache.ResetStats()
 	c.treeCache.ResetStats()
 	if c.lmm != nil {
 		c.lmm.Stats().ResetStats()
+	}
+	c.counters.ResetStats()
+	if c.ivc != nil {
+		c.ivc.ResetStats()
 	}
 	c.DataReads.Reset()
 	c.DataWrites.Reset()

@@ -2,6 +2,7 @@ package secmem
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"ivleague/internal/config"
@@ -399,4 +400,108 @@ func TestSlotIDInvalidForBaseline(t *testing.T) {
 		t.Fatal("baseline assigned a slot")
 	}
 	_ = core.InvalidSlot
+}
+
+// statsFingerprint reads every statistics accessor the controller and its
+// subsystems expose, keyed by name so an equivalence failure names the
+// stale counter.
+func statsFingerprint(c *Controller) map[string]uint64 {
+	fp := map[string]uint64{
+		"secmem.DataReads":      c.DataReads.Value(),
+		"secmem.DataWrites":     c.DataWrites.Value(),
+		"secmem.Verifications":  c.Verifications.Value(),
+		"secmem.Overflows":      c.Overflows.Value(),
+		"secmem.SwapPenalties":  c.SwapPenalties.Value(),
+		"secmem.TamperEvents":   c.TamperEvents.Value(),
+		"secmem.PathLenDomains": uint64(len(c.PathLen)),
+		"dram.Reads":            c.dram.Reads.Value(),
+		"dram.Writes":           c.dram.Writes.Value(),
+		"dram.RowHits":          c.dram.RowHits.Value(),
+		"dram.RowMisses":        c.dram.RowMisses.Value(),
+		"dram.TotalLatency":     c.dram.TotalLatency.Value(),
+		"ctrCache.Hits":         c.counterCache.Hits.Value(),
+		"ctrCache.Misses":       c.counterCache.Misses.Value(),
+		"ctrCache.Evictions":    c.counterCache.Evictions.Value(),
+		"treeCache.Hits":        c.treeCache.Hits.Value(),
+		"treeCache.Misses":      c.treeCache.Misses.Value(),
+		"treeCache.Evictions":   c.treeCache.Evictions.Value(),
+		"ctr.Increments":        c.counters.Increments.Value(),
+		"ctr.Overflows":         c.counters.Overflows.Value(),
+	}
+	if c.lmm != nil {
+		s := c.lmm.Stats()
+		fp["lmm.Hits"] = s.Hits.Value()
+		fp["lmm.Misses"] = s.Misses.Value()
+		fp["lmm.Evictions"] = s.Evictions.Value()
+	}
+	if c.ivc != nil {
+		fp["core.Assignments"] = c.ivc.Assignments.Value()
+		fp["core.Untracked"] = c.ivc.Untracked.Value()
+		fp["core.Conversions"] = c.ivc.Conversions.Value()
+		fp["core.Migrations"] = c.ivc.Migrations.Value()
+		fp["core.MigrationsBack"] = c.ivc.MigrationsBack.Value()
+		fp["core.AllocFailures"] = c.ivc.AllocFailures.Value()
+		for _, id := range c.ivc.DomainIDs() {
+			nflb := c.ivc.NFLBOf(id)
+			fp[fmt.Sprintf("core.nflb[%d].Hits", id)] = nflb.Hits.Value()
+			fp[fmt.Sprintf("core.nflb[%d].Misses", id)] = nflb.Misses.Value()
+		}
+	}
+	return fp
+}
+
+// TestResetStatsEquivalentToFresh is the end-of-warmup contract: after
+// ResetStats, every statistics accessor must read as on a freshly
+// constructed controller — zero. Any counter added to a subsystem without
+// a matching ResetStats entry fails here by name, for every scheme.
+func TestResetStatsEquivalentToFresh(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme.String(), func(t *testing.T) {
+			for name, v := range statsFingerprint(newCtl(t, scheme, false)) {
+				if v != 0 {
+					t.Fatalf("fresh controller has %s = %d; the fingerprint must only cover stats", name, v)
+				}
+			}
+			c := newCtl(t, scheme, false)
+			for dom := 1; dom <= 2; dom++ {
+				if err := c.CreateDomain(dom); err != nil {
+					t.Fatal(err)
+				}
+				lo, _ := c.PartitionRange(dom)
+				for v := uint64(0); v < 6; v++ {
+					pfn := lo + uint64(dom-1) + 2*v // disjoint across domains
+					mapPage(t, c, dom, v, pfn)
+					if _, err := c.Access(v, dom, v, pfn, 0, true); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := c.Access(v+100, dom, v, pfn, 0, false); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			c.FlushMetadata() // force re-verification traffic on the next reads
+			for dom := 1; dom <= 2; dom++ {
+				lo, _ := c.PartitionRange(dom)
+				if _, err := c.Access(500, dom, 0, lo+uint64(dom-1), 0, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dirty := 0
+			for name, v := range statsFingerprint(c) {
+				_ = name
+				if v != 0 {
+					dirty++
+				}
+			}
+			if dirty < 8 {
+				t.Fatalf("traffic touched only %d stats; the fingerprint is too weak", dirty)
+			}
+			c.ResetStats()
+			for name, v := range statsFingerprint(c) {
+				if v != 0 {
+					t.Errorf("%v: %s = %d after ResetStats, want 0 (fresh-construction equivalence)", scheme, name, v)
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,94 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"ivleague/internal/config"
+	"ivleague/internal/core"
+)
+
+// This file collects the physical-attack primitives the fault-injection
+// engine (internal/faults) drives: each one mutates the simulated off-chip
+// backing store the way a bus-level or cold-boot attacker would, without
+// going through the controller's maintenance paths. Detection happens on
+// the next verified access (ReadData after FlushMetadata), never here.
+
+// ErrNoTamperTarget is returned when the requested tamper target does not
+// exist (never-written block, unmapped page, scheme without the structure).
+var ErrNoTamperTarget = errors.New("secmem: no such tamper target")
+
+// FlipDataBit flips one bit of a block's off-chip ciphertext. The next
+// authenticated read fails its MAC check.
+func (c *Controller) FlipDataBit(pfn uint64, block, bit int) error {
+	if bit < 0 || bit >= config.BlockBytes*8 {
+		return fmt.Errorf("secmem: bit %d out of range", bit)
+	}
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	st := c.dataMem()[addr]
+	if st == nil {
+		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, addr)
+	}
+	st.ct[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
+// CorruptMAC flips one bit of a block's stored MAC (the authentication tag
+// itself is attacked, the ciphertext left intact).
+func (c *Controller) CorruptMAC(pfn uint64, block, bit int) error {
+	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+	st := c.dataMem()[addr]
+	if st == nil {
+		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, addr)
+	}
+	st.mac ^= 1 << uint(bit&63)
+	return nil
+}
+
+// SpliceData copies the (ciphertext, MAC) pair of one block over another —
+// the classic splicing attack. Both triples are individually valid, but
+// the MAC binds the block's address, so the destination's next read fails
+// authentication.
+func (c *Controller) SpliceData(srcPfn uint64, srcBlock int, dstPfn uint64, dstBlock int) error {
+	srcAddr := srcPfn<<config.PageShift | uint64(srcBlock)<<config.BlockShift
+	dstAddr := dstPfn<<config.PageShift | uint64(dstBlock)<<config.BlockShift
+	src := c.dataMem()[srcAddr]
+	if src == nil {
+		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, srcAddr)
+	}
+	if c.dataMem()[dstAddr] == nil {
+		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, dstAddr)
+	}
+	cp := *src
+	c.dataMem()[dstAddr] = &cp
+	return nil
+}
+
+// TamperCounter bumps one minor counter in the off-chip counter block
+// without the tree/MAC maintenance a legitimate increment performs. The
+// next verification walk over the page finds the counter-block hash
+// disagreeing with the tree.
+func (c *Controller) TamperCounter(pfn uint64, block int) error {
+	blk := c.counters.Peek(pfn)
+	if blk == nil {
+		return fmt.Errorf("%w: no counter block for pfn %d", ErrNoTamperTarget, pfn)
+	}
+	blk.Minors[block&(config.BlocksPerPage-1)]++
+	return nil
+}
+
+// TamperLMM overwrites the Leaf-ID field of pfn's extended PTE with a
+// forged slot — a software-level attack on the LMM. It returns the slot
+// that was there, so tests can restore it. The forged slot misdirects the
+// next verification walk, which fails against the (untampered) tree.
+func (c *Controller) TamperLMM(pfn uint64, forged core.SlotID) (core.SlotID, error) {
+	if c.ivc == nil {
+		return core.InvalidSlot, fmt.Errorf("%w: scheme has no LMM", ErrNoTamperTarget)
+	}
+	old, ok := c.pageSlots[pfn]
+	if !ok {
+		return core.InvalidSlot, fmt.Errorf("%w: pfn %d has no LMM entry", ErrNoTamperTarget, pfn)
+	}
+	c.pageSlots[pfn] = forged
+	return old, nil
+}

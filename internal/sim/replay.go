@@ -38,9 +38,11 @@ func (r *replaySource) Drained() bool { return r.pos >= len(r.events) }
 // ReplayMix builds a machine for the mix (processes, domains, caches) but
 // drives its threads from a recorded trace instead of the synthetic
 // generators. The trace must have been recorded from a machine with the
-// same thread layout (same mix).
-func ReplayMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix, r io.Reader) (Result, error) {
-	m, err := NewMachine(cfg, scheme, mix, 0)
+// same thread layout (same mix). Options (functional memory, op hooks)
+// apply to the replaying machine, so recorded traces can drive the
+// fault-injection and crash harnesses too.
+func ReplayMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix, r io.Reader, opts ...MachineOption) (Result, error) {
+	m, err := NewMachine(cfg, scheme, mix, 0, opts...)
 	if err != nil {
 		return Result{}, err
 	}

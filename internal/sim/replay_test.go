@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"ivleague/internal/config"
@@ -80,5 +81,112 @@ func TestReplayEmptyTraceFails(t *testing.T) {
 	w.Flush() // header only, no records
 	if _, err := ReplayMix(&cfg, config.SchemeBaseline, smallMix(t), &buf); err == nil {
 		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayBadMagicFails(t *testing.T) {
+	cfg := quickCfg()
+	junk := bytes.NewReader([]byte("notatrace-at-all"))
+	if _, err := ReplayMix(&cfg, config.SchemeBaseline, smallMix(t), junk); err == nil {
+		t.Fatal("non-trace bytes accepted")
+	}
+}
+
+func TestReplayTruncatedTraceFails(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Sim.WarmupInstr = 1_000
+	cfg.Sim.MeasureInstr = 4_000
+	mix := smallMix(t)
+	m, _ := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
+	var buf bytes.Buffer
+	w := m.RecordTrace(&buf)
+	m.Run()
+	w.Flush()
+	raw := buf.Bytes()
+	// Cut mid-record: a varint delta loses its tail.
+	cut := raw[:len(raw)-1]
+	if _, err := ReplayMix(&cfg, config.SchemeBaseline, mix, bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+// TestReplayDetectsMidTraceTamper drives a recorded trace into a
+// functional machine and corrupts the integrity tree mid-replay: the run
+// must come back as a tamper, not an error and not a silent completion.
+func TestReplayDetectsMidTraceTamper(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Sim.WarmupInstr = 2_000
+	cfg.Sim.MeasureInstr = 10_000
+	mix := smallMix(t)
+	m, _ := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
+	var buf bytes.Buffer
+	w := m.RecordTrace(&buf)
+	m.Run()
+	w.Flush()
+
+	tampered := false
+	hook := WithOpHook(func(rm *Machine, op uint64) error {
+		if tampered || op < 500 {
+			return nil
+		}
+		c := rm.Mem()
+		lay := c.Layout()
+		// Corrupt the leaf tree slot of every mapped page, so whichever
+		// page the trace touches next fails its verification walk.
+		for _, p := range c.MappedPages() {
+			c.GlobalTree().Corrupt(1, lay.GlobalNodeIndex(p.PFN, 1), int(p.PFN%uint64(lay.Arity)), 0xdead)
+		}
+		c.FlushMetadata()
+		tampered = true
+		return nil
+	})
+	rep, err := ReplayMix(&cfg, config.SchemeBaseline, mix, &buf, WithFunctionalMem(), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed || !rep.Tampered {
+		t.Fatalf("mid-trace tamper not surfaced: failed=%v tampered=%v", rep.Failed, rep.Tampered)
+	}
+	if !strings.Contains(rep.FailMsg, "integrity") {
+		t.Fatalf("tamper failure lacks the integrity class: %q", rep.FailMsg)
+	}
+}
+
+// TestReplayCrashBounds pins the op-hook boundary cases on the replay
+// path: a crash at op 0 kills the run before any access; a crash op past
+// the trace never fires and the replay completes.
+func TestReplayCrashBounds(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Sim.WarmupInstr = 1_000
+	cfg.Sim.MeasureInstr = 4_000
+	mix := smallMix(t)
+	m, _ := NewMachine(&cfg, config.SchemeBaseline, mix, 0)
+	var buf bytes.Buffer
+	w := m.RecordTrace(&buf)
+	m.Run()
+	w.Flush()
+	raw := buf.Bytes()
+
+	crash := func(k uint64) MachineOption {
+		return WithOpHook(func(rm *Machine, op uint64) error {
+			if op >= k {
+				return ErrCrashInjected
+			}
+			return nil
+		})
+	}
+	rep, err := ReplayMix(&cfg, config.SchemeBaseline, mix, bytes.NewReader(raw), crash(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed || rep.Tampered {
+		t.Fatalf("crash at op 0: failed=%v tampered=%v", rep.Failed, rep.Tampered)
+	}
+	rep, err = ReplayMix(&cfg, config.SchemeBaseline, mix, bytes.NewReader(raw), crash(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("crash op beyond the trace killed the replay: %s", rep.FailMsg)
 	}
 }

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -15,8 +16,14 @@ import (
 	"ivleague/internal/pagetable"
 	"ivleague/internal/secmem"
 	"ivleague/internal/trace"
+	"ivleague/internal/tree"
 	"ivleague/internal/workload"
 )
+
+// ErrCrashInjected is the sentinel an op hook returns to model a power
+// loss: the machine stops immediately with this as its failure cause, and
+// the crash-recovery harness then persists and recovers the memory image.
+var ErrCrashInjected = errors.New("sim: crash injected")
 
 // EventSource supplies a thread's instruction stream. The synthetic
 // workload generators implement it; trace replay provides an alternative
@@ -68,6 +75,14 @@ type Machine struct {
 
 	failed  bool
 	failMsg string
+	failErr error
+
+	// opHook, when set, runs before every instruction step with the global
+	// op count; a non-nil return stops the run with that failure cause.
+	// The fault-injection engine uses it to tamper mid-run or crash at a
+	// chosen op.
+	opHook  func(*Machine, uint64) error
+	opCount uint64
 
 	// TraceWriter, when set before Run, records every generated memory
 	// access (internal/trace format). Set with RecordTrace.
@@ -82,17 +97,46 @@ type Machine struct {
 // posted.
 const wbChargeFraction = 0.05
 
+// MachineOption configures optional machine behaviour (functional memory,
+// op hooks) without widening NewMachine's signature for every caller.
+type MachineOption func(*machineOpts)
+
+type machineOpts struct {
+	memOpts []secmem.Option
+	opHook  func(*Machine, uint64) error
+}
+
+// WithFunctionalMem runs the secure-memory controller with its functional
+// crypto/integrity layer on, so tampering with the simulated backing store
+// is actually detected (and crash images can be persisted). Slower; used by
+// the fault-injection engine.
+func WithFunctionalMem() MachineOption {
+	return func(o *machineOpts) { o.memOpts = append(o.memOpts, secmem.WithFunctional()) }
+}
+
+// WithOpHook installs a hook called before every instruction step with the
+// machine and the global op count (0-based, across all threads). A non-nil
+// return stops the run with that error as the failure cause; return
+// ErrCrashInjected to model a power loss at that op.
+func WithOpHook(h func(*Machine, uint64) error) MachineOption {
+	return func(o *machineOpts) { o.opHook = h }
+}
+
 // NewMachine builds a machine running the given mix under the scheme.
 // partitions configures SchemeStaticPartition (ignored otherwise; 0 picks
 // one partition per process).
-func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, partitions int) (*Machine, error) {
+func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, partitions int, opts ...MachineOption) (*Machine, error) {
+	var mo machineOpts
+	for _, o := range opts {
+		o(&mo)
+	}
 	if partitions <= 0 {
 		partitions = 1
 		for partitions < len(mix.Procs) {
 			partitions <<= 1
 		}
 	}
-	mem, err := secmem.New(cfg, scheme, partitions)
+	mem, err := secmem.New(cfg, scheme, partitions, mo.memOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +145,7 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		scheme: scheme,
 		mem:    mem,
 		owners: make(map[uint64]owner),
+		opHook: mo.opHook,
 	}
 	m.l3, err = cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0)
 	if err != nil {
@@ -327,10 +372,17 @@ func (m *Machine) memWriteback(t *thread, addr uint64) {
 	}
 	block := int(addr>>config.BlockShift) & (config.BlocksPerPage - 1)
 	lat, err := m.mem.Access(uint64(t.cycles), o.domain, o.vpn, pfn, block, true)
-	if err == nil {
-		t.cycles += wbChargeFraction * float64(lat)
-		m.CycWb += wbChargeFraction * float64(lat)
+	if err != nil {
+		// Writebacks happen off the instruction path; latch the error so
+		// the next step surfaces it instead of silently dropping a
+		// detected integrity violation.
+		if m.pendingErr == nil {
+			m.pendingErr = err
+		}
+		return
 	}
+	t.cycles += wbChargeFraction * float64(lat)
+	m.CycWb += wbChargeFraction * float64(lat)
 }
 
 // Result summarizes one run.
@@ -338,6 +390,11 @@ type Result struct {
 	Scheme  config.Scheme
 	Failed  bool
 	FailMsg string
+	// Tampered marks a failure whose cause is a detected integrity
+	// violation (*tree.IntegrityError) rather than a scheme/resource
+	// failure; the figure harness reports such cells as degraded, not
+	// broken.
+	Tampered bool
 	// Per-thread outcomes, index-aligned with the mix's thread order.
 	Bench []string
 	IPC   []float64
@@ -359,6 +416,22 @@ type Result struct {
 // Mem exposes the machine's secure memory controller.
 func (m *Machine) Mem() *secmem.Controller { return m.mem }
 
+// OpCount returns the number of instruction steps executed so far, the
+// counter the op hook observes.
+func (m *Machine) OpCount() uint64 { return m.opCount }
+
+// FailCause returns the error that failed the run (nil if it succeeded).
+// Unlike Result.FailMsg it preserves the error chain, so callers can
+// errors.As into *tree.IntegrityError or test errors.Is(ErrCrashInjected).
+func (m *Machine) FailCause() error { return m.failErr }
+
+// fail latches the run's failure cause.
+func (m *Machine) fail(err error) {
+	m.failed = true
+	m.failMsg = err.Error()
+	m.failErr = err
+}
+
 // Run executes warmup + measurement and returns the result. A scheme
 // failure (TreeLing starvation under BV-v1, OOM) marks the run failed, as
 // in Figure 17a.
@@ -377,15 +450,29 @@ func (m *Machine) Run() Result {
 			m.resetStats()
 		}
 		for _, t := range m.threads {
+			if m.opHook != nil {
+				if err := m.opHook(m, m.opCount); err != nil {
+					m.fail(err)
+					break
+				}
+			}
 			if err := m.step(t); err != nil {
-				m.failed = true
-				m.failMsg = err.Error()
+				m.fail(err)
 				break
 			}
+			m.opCount++
 		}
+	}
+	// A writeback error latched on the very last step has no next step to
+	// surface it; do so here.
+	if !m.failed && m.pendingErr != nil {
+		m.fail(m.pendingErr)
+		m.pendingErr = nil
 	}
 	res.Failed = m.failed
 	res.FailMsg = m.failMsg
+	var ie *tree.IntegrityError
+	res.Tampered = errors.As(m.failErr, &ie)
 	for _, t := range m.threads {
 		res.Bench = append(res.Bench, t.bench)
 		dc := t.cycles - t.cycles0
@@ -447,8 +534,8 @@ func (m *Machine) resetStats() {
 // RunMix is the one-call entry: build a machine for (cfg, scheme, mix) and
 // run it. Machine-construction errors are folded into a failed Result; use
 // RunMixErr to distinguish them from in-run scheme failures.
-func RunMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix) Result {
-	res, err := RunMixErr(cfg, scheme, mix)
+func RunMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix, opts ...MachineOption) Result {
+	res, err := RunMixErr(cfg, scheme, mix, opts...)
 	if err != nil {
 		return Result{Scheme: scheme, Failed: true, FailMsg: err.Error()}
 	}
@@ -460,8 +547,8 @@ func RunMix(cfg *config.Config, scheme config.Scheme, mix workload.Mix) Result {
 // A Result with Failed set is not an error: scheme failures mid-run
 // (TreeLing starvation under BV-v1, OOM) are measured outcomes that
 // Figure 17a reports as "x".
-func RunMixErr(cfg *config.Config, scheme config.Scheme, mix workload.Mix) (Result, error) {
-	m, err := NewMachine(cfg, scheme, mix, 0)
+func RunMixErr(cfg *config.Config, scheme config.Scheme, mix workload.Mix, opts ...MachineOption) (Result, error) {
+	m, err := NewMachine(cfg, scheme, mix, 0, opts...)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: mix %s under %v: %w", mix.Name, scheme, err)
 	}

@@ -10,7 +10,7 @@
 package tree
 
 import (
-	"fmt"
+	"sort"
 
 	"ivleague/internal/crypto"
 	"ivleague/internal/ctr"
@@ -67,6 +67,30 @@ func (s *SlotStore) Drop(key uint64) { delete(s.nodes, key) }
 
 // Len returns the number of materialized nodes.
 func (s *SlotStore) Len() int { return len(s.nodes) }
+
+// Has reports whether a node is materialized.
+func (s *SlotStore) Has(key uint64) bool { return s.nodes[key] != nil }
+
+// Keys returns the materialized node keys in ascending order.
+func (s *SlotStore) Keys() []uint64 {
+	keys := make([]uint64, 0, len(s.nodes))
+	for k := range s.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Clone returns a deep copy of the store (the persisted node image).
+func (s *SlotStore) Clone() *SlotStore {
+	c := NewSlotStore(s.arity)
+	for k, n := range s.nodes {
+		cp := make([]uint64, s.arity)
+		copy(cp, n)
+		c.nodes[k] = cp
+	}
+	return c
+}
 
 // CounterBlockHash hashes a counter block's contents together with its
 // page frame number (binding position, preventing splicing).
@@ -134,18 +158,65 @@ func (g *Global) Verify(pfn uint64, blk ctr.Block) error {
 		idx /= uint64(g.lay.Arity)
 		key := globalKey(level, idx)
 		if got := g.store.Slot(key, slot); got != h {
-			return fmt.Errorf("tree: integrity violation at level %d node %d slot %d (pfn %d)", level, idx, slot, pfn)
+			return newIntegrityError(ViolationTreeNode, -1, level, int(idx), slot,
+				g.nodeAddr(level, idx), "stored slot disagrees with recomputed path hash")
 		}
 		h = g.store.NodeHash(key)
 	}
 	if h != g.root {
-		return fmt.Errorf("tree: root mismatch for pfn %d", pfn)
+		return newIntegrityError(ViolationRoot, -1, g.lay.GlobalLevels, 0, -1,
+			g.nodeAddr(g.lay.GlobalLevels, 0), "top node disagrees with on-chip root")
 	}
 	return nil
 }
 
+func (g *Global) nodeAddr(level int, idx uint64) uint64 {
+	a, err := g.lay.GlobalNodeAddr(level, idx)
+	if err != nil {
+		return 0
+	}
+	return a
+}
+
 // Root returns the on-chip root hash.
 func (g *Global) Root() uint64 { return g.root }
+
+// Clone deep-copies the global tree: the persisted node image plus the
+// on-chip root register (which RecoverRoot rebuilds from the image alone).
+func (g *Global) Clone() *Global {
+	return &Global{lay: g.lay, store: g.store.Clone(), root: g.root}
+}
+
+// VerifyImage checks the internal hash-chain consistency of the persisted
+// node image: every materialized non-top node's hash must equal the slot
+// its parent holds. An inconsistency means the image was torn mid-update.
+func (g *Global) VerifyImage() error {
+	for _, key := range g.store.Keys() {
+		level := int(key >> 56)
+		idx := key & (1<<56 - 1)
+		if level >= g.lay.GlobalLevels {
+			continue
+		}
+		pkey := globalKey(level+1, idx/uint64(g.lay.Arity))
+		slot := int(idx % uint64(g.lay.Arity))
+		if g.store.Slot(pkey, slot) != g.store.NodeHash(key) {
+			return newIntegrityError(ViolationTorn, -1, level+1, int(idx/uint64(g.lay.Arity)), slot,
+				g.nodeAddr(level+1, idx/uint64(g.lay.Arity)),
+				"persisted parent link disagrees with child hash (torn image)")
+		}
+	}
+	return nil
+}
+
+// RecoverRoot rebuilds the on-chip root register from the persisted top
+// node after a crash, first checking the image for torn writes.
+func (g *Global) RecoverRoot() (uint64, error) {
+	if err := g.VerifyImage(); err != nil {
+		return 0, err
+	}
+	g.root = g.levelNodeHash(g.lay.GlobalLevels, 0)
+	return g.root, nil
+}
 
 // Corrupt overwrites the stored hash at (level, idx, slot) — a physical
 // tamper/replay used by tests and the tamper-detection example.
@@ -201,7 +272,8 @@ func (f *Forest) rehash(tl, nodeIdx int) {
 // on-chip TreeLing root.
 func (f *Forest) Verify(tl, nodeIdx, slot int, h uint64) error {
 	if got := f.store.Slot(Key(tl, nodeIdx), slot); got != h {
-		return fmt.Errorf("tree: TreeLing %d node %d slot %d mismatch", tl, nodeIdx, slot)
+		return newIntegrityError(ViolationTreeNode, tl, f.lay.LevelOf(nodeIdx), nodeIdx, slot,
+			f.nodeAddr(tl, nodeIdx), "stored slot disagrees with leaf hash")
 	}
 	cur := nodeIdx
 	for {
@@ -209,19 +281,95 @@ func (f *Forest) Verify(tl, nodeIdx, slot int, h uint64) error {
 		parent, slot, ok := f.lay.Parent(cur)
 		if !ok {
 			if f.roots[tl] != nh {
-				return fmt.Errorf("tree: TreeLing %d root mismatch", tl)
+				return newIntegrityError(ViolationRoot, tl, f.lay.TreeLingHeight, cur, -1,
+					f.nodeAddr(tl, cur), "top node disagrees with on-chip root")
 			}
 			return nil
 		}
 		if got := f.store.Slot(Key(tl, parent), slot); got != nh {
-			return fmt.Errorf("tree: TreeLing %d node %d slot %d mismatch on path", tl, parent, slot)
+			return newIntegrityError(ViolationTreeNode, tl, f.lay.LevelOf(parent), parent, slot,
+				f.nodeAddr(tl, parent), "stored slot disagrees with recomputed path hash")
 		}
 		cur = parent
 	}
 }
 
+func (f *Forest) nodeAddr(tl, nodeIdx int) uint64 {
+	a, err := f.lay.TreeLingNodeAddr(tl, nodeIdx)
+	if err != nil {
+		return 0
+	}
+	return a
+}
+
 // Root returns the on-chip root hash of a TreeLing.
 func (f *Forest) Root(tl int) uint64 { return f.roots[tl] }
+
+// HasRoot reports whether the on-chip root table has an entry for tl.
+func (f *Forest) HasRoot(tl int) bool { _, ok := f.roots[tl]; return ok }
+
+// Clone deep-copies the forest: the persisted node image plus the on-chip
+// root table (which RecoverRoot rebuilds from the image alone).
+func (f *Forest) Clone() *Forest {
+	c := &Forest{lay: f.lay, store: f.store.Clone(), roots: make(map[int]uint64, len(f.roots))}
+	for tl, r := range f.roots {
+		c.roots[tl] = r
+	}
+	return c
+}
+
+// RestoreFrom replaces the forest's node image with a deep copy of img's.
+// The on-chip root table is deliberately NOT restored — it is lost at a
+// crash; the recovery path must rebuild it per TreeLing via RecoverRoot.
+func (f *Forest) RestoreFrom(img *Forest) {
+	f.store = img.store.Clone()
+	f.roots = make(map[int]uint64)
+}
+
+// RestoreFrom replaces the global tree's node image with a deep copy of
+// img's. The on-chip root register is NOT restored; call RecoverRoot.
+func (g *Global) RestoreFrom(img *Global) {
+	g.store = img.store.Clone()
+	g.root = 0
+}
+
+// VerifyTreeLing checks the internal hash-chain consistency of one
+// TreeLing's persisted nodes: every materialized non-root node's hash must
+// equal the slot its parent holds. Because every SetSlot rehashes up to
+// the root, this invariant holds for any cleanly written image; a
+// violation means the image was torn mid-update.
+func (f *Forest) VerifyTreeLing(tl int) error {
+	for i := 1; i < f.lay.NodesPerTreeLing; i++ {
+		if !f.store.Has(Key(tl, i)) {
+			continue
+		}
+		parent, slot, ok := f.lay.Parent(i)
+		if !ok {
+			continue
+		}
+		if f.store.Slot(Key(tl, parent), slot) != f.store.NodeHash(Key(tl, i)) {
+			return newIntegrityError(ViolationTorn, tl, f.lay.LevelOf(parent), parent, slot,
+				f.nodeAddr(tl, parent), "persisted parent link disagrees with child hash (torn image)")
+		}
+	}
+	return nil
+}
+
+// RecoverRoot rebuilds the on-chip root-table entry of TreeLing tl from
+// the persisted node image after a crash, first checking the image for
+// torn writes. A TreeLing with no materialized nodes recovers to no root
+// entry, matching a freshly assigned TreeLing.
+func (f *Forest) RecoverRoot(tl int) error {
+	if err := f.VerifyTreeLing(tl); err != nil {
+		return err
+	}
+	if !f.store.Has(Key(tl, 0)) {
+		delete(f.roots, tl)
+		return nil
+	}
+	f.roots[tl] = f.store.NodeHash(Key(tl, 0))
+	return nil
+}
 
 // ResetTreeLing clears every node of a TreeLing (used when a TreeLing is
 // reclaimed from a destroyed domain).
@@ -235,4 +383,34 @@ func (f *Forest) ResetTreeLing(tl int) {
 // Corrupt overwrites a stored slot hash — a physical tamper used in tests.
 func (f *Forest) Corrupt(tl, nodeIdx, slot int, v uint64) {
 	f.store.SetSlot(Key(tl, nodeIdx), slot, v)
+}
+
+// DigestTreeLing folds one TreeLing's materialized node contents (index
+// order) into a single hash, for state-equality checks after recovery.
+func (f *Forest) DigestTreeLing(tl int) uint64 {
+	var parts []uint64
+	for i := 0; i < f.lay.NodesPerTreeLing; i++ {
+		key := Key(tl, i)
+		if !f.store.Has(key) {
+			continue
+		}
+		parts = append(parts, uint64(i))
+		for s := 0; s < f.store.arity; s++ {
+			parts = append(parts, f.store.Slot(key, s))
+		}
+	}
+	return crypto.NodeHash(parts...)
+}
+
+// DigestImage folds the global tree's materialized node contents (key
+// order) into a single hash, for state-equality checks after recovery.
+func (g *Global) DigestImage() uint64 {
+	var parts []uint64
+	for _, key := range g.store.Keys() {
+		parts = append(parts, key)
+		for s := 0; s < g.store.arity; s++ {
+			parts = append(parts, g.store.Slot(key, s))
+		}
+	}
+	return crypto.NodeHash(parts...)
 }
