@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ivleague/internal/figures"
@@ -24,7 +25,38 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	mixFilter := flag.String("mixes", "", "comma-separated mix subset (e.g. S-1,L-2)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (results are identical for any value)")
+	traceDir := flag.String("trace", "", "export one Chrome trace-event JSON per (mix, scheme) run into this directory")
+	traceSample := flag.Int("trace-sample", 64, "with -trace, record every Nth event")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole harness to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ivbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ivbench:", err)
+			}
+		}()
+	}
 
 	opts := figures.Quick()
 	if *full {
@@ -34,6 +66,14 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	opts.Parallelism = *jobs
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
+		opts.TraceDir = *traceDir
+		opts.TraceSample = *traceSample
+	}
 	if *mixFilter != "" {
 		var mixes []workload.Mix
 		for _, name := range strings.Split(*mixFilter, ",") {

@@ -13,6 +13,7 @@ import (
 	"ivleague/internal/config"
 	"ivleague/internal/faults"
 	"ivleague/internal/sim"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
 )
 
@@ -26,6 +27,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	traceOut := flag.String("trace-out", "", "record the access trace to this file")
 	traceIn := flag.String("trace-in", "", "replay a recorded trace instead of the generators")
+	chromeTrace := flag.String("trace", "", "export a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
+	traceSample := flag.Int("trace-sample", 1, "with -trace, record every Nth event")
+	auditFlag := flag.Bool("audit", false,
+		"account every metadata touch by (domain, TreeLing, level, node) and print the isolation report; "+
+			"exits non-zero if an IvLeague scheme shares a node across domains")
 	injectSpec := flag.String("inject", "",
 		"inject a fault as class@op (classes: "+liveClassNames()+"); the run reports whether the scheme detected it")
 	crashAt := flag.Uint64("crash-at", 0, "kill the run at this op, recover from the persisted image and check state equality")
@@ -77,6 +83,18 @@ func main() {
 		}
 	}
 
+	opts := inj.MachineOptions()
+	var tracer *telemetry.Tracer
+	if *chromeTrace != "" {
+		tracer = telemetry.NewTracer(1<<20, *traceSample)
+		opts = append(opts, sim.WithTracer(tracer))
+	}
+	var audit *telemetry.Audit
+	if *auditFlag {
+		audit = telemetry.NewAudit()
+		opts = append(opts, sim.WithAudit(audit))
+	}
+
 	var res sim.Result
 	switch {
 	case *traceIn != "":
@@ -86,7 +104,7 @@ func main() {
 			os.Exit(2)
 		}
 		defer f.Close()
-		res, err = sim.ReplayMix(&cfg, scheme, mix, f, inj.MachineOptions()...)
+		res, err = sim.ReplayMix(&cfg, scheme, mix, f, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -97,7 +115,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		m, err := sim.NewMachine(&cfg, scheme, mix, 0, inj.MachineOptions()...)
+		m, err := sim.NewMachine(&cfg, scheme, mix, 0, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -111,7 +129,7 @@ func main() {
 		f.Close()
 		fmt.Printf("trace: %d records -> %s\n", w.Count(), *traceOut)
 	default:
-		res = sim.RunMix(&cfg, scheme, mix, inj.MachineOptions()...)
+		res = sim.RunMix(&cfg, scheme, mix, opts...)
 	}
 	fmt.Printf("mix %s under %s (footprint %d MB, %d procs)\n",
 		mix.Name, scheme, mix.FootprintMB(), len(mix.Procs))
@@ -150,6 +168,33 @@ func main() {
 	}
 	if scheme == config.SchemeStaticPartition {
 		fmt.Printf("partition swaps:      %d\n", res.Swaps)
+	}
+	if tracer != nil {
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("chrome trace:         %d events (%d seen, %d displaced by the ring) -> %s\n",
+			len(tracer.Events()), tracer.Seen(), tracer.Overwritten(), *chromeTrace)
+	}
+	if audit != nil {
+		rep := audit.Report()
+		fmt.Println(rep.String())
+		if scheme.IsIvLeague() && !rep.Isolated() {
+			fmt.Fprintf(os.Stderr, "isolation audit FAILED: %s shares %d metadata nodes across domains\n",
+				scheme, rep.SharedNodes)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 )
 
 // line is one cache line's bookkeeping.
@@ -231,6 +232,15 @@ func (c *Cache) ResetStats() {
 	c.Hits.Reset()
 	c.Misses.Reset()
 	c.Evictions.Reset()
+}
+
+// RegisterMetrics registers the cache's counters with a telemetry registry
+// under "<prefix>.hits" / ".misses" / ".evictions"; Snapshot.HitRate then
+// derives the hit rate every consumer previously hand-computed.
+func (c *Cache) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".hits", &c.Hits)
+	r.RegisterCounter(prefix+".misses", &c.Misses)
+	r.RegisterCounter(prefix+".evictions", &c.Evictions)
 }
 
 // Occupancy returns the fraction of lines currently valid.

@@ -7,6 +7,7 @@ import (
 	"ivleague/internal/config"
 	"ivleague/internal/layout"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/tree"
 )
 
@@ -587,6 +588,34 @@ func (c *Controller) ResetStats() {
 
 // DomainIDs returns the live domain IDs in ascending order.
 func (c *Controller) DomainIDs() []int { return stats.SortedKeys(c.domains) }
+
+// RegisterMetrics registers the controller's event counters, a sampler
+// contributing every live domain's NFLB hit/miss counts (the domain set
+// can grow after registration, so these are sampled rather than bound),
+// and the Figure 17b utilization gauges.
+func (c *Controller) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".assignments", &c.Assignments)
+	r.RegisterCounter(prefix+".untracked_slots", &c.Untracked)
+	r.RegisterCounter(prefix+".conversions", &c.Conversions)
+	r.RegisterCounter(prefix+".migrations", &c.Migrations)
+	r.RegisterCounter(prefix+".migrations_back", &c.MigrationsBack)
+	r.RegisterCounter(prefix+".alloc_failures", &c.AllocFailures)
+	r.RegisterSampler(func(s *telemetry.Sample) {
+		for _, id := range stats.SortedKeys(c.domains) {
+			nflb := c.domains[id].nflb
+			s.Counter(fmt.Sprintf("%s.nflb.d%d.hits", prefix, id), nflb.Hits.Value())
+			s.Counter(fmt.Sprintf("%s.nflb.d%d.misses", prefix, id), nflb.Misses.Value())
+		}
+	})
+	r.RegisterGauge(prefix+".utilization", func() float64 {
+		util, _ := c.Utilization()
+		return util
+	})
+	r.RegisterGauge(prefix+".untracked", func() float64 {
+		_, untracked := c.Utilization()
+		return float64(untracked)
+	})
+}
 
 // UnassignedTreeLings returns the TreeLing IDs currently in the
 // unassigned FIFO, in pop order.

@@ -3,6 +3,7 @@ package core
 import (
 	"ivleague/internal/cache"
 	"ivleague/internal/config"
+	"ivleague/internal/telemetry"
 )
 
 // LMMCache is the on-chip Leaf Mapping Metadata cache in the memory
@@ -41,6 +42,11 @@ func (l *LMMCache) Invalidate(domain int, vpn uint64) {
 
 // HitRate returns the cache hit rate so far.
 func (l *LMMCache) HitRate() float64 { return l.c.HitRate() }
+
+// RegisterMetrics registers the underlying cache's counters.
+func (l *LMMCache) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	l.c.RegisterMetrics(r, prefix)
+}
 
 // Stats exposes the underlying cache for counter access.
 func (l *LMMCache) Stats() *cache.Cache { return l.c }

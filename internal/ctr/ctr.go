@@ -12,6 +12,7 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 )
 
 // Block is the counter block covering one 4 KiB page: a shared major
@@ -145,4 +146,10 @@ func (s *Store) Clone() *Store {
 func (s *Store) ResetStats() {
 	s.Increments.Reset()
 	s.Overflows.Reset()
+}
+
+// RegisterMetrics registers the store's counters with a telemetry registry.
+func (s *Store) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".increments", &s.Increments)
+	r.RegisterCounter(prefix+".overflows", &s.Overflows)
 }

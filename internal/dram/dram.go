@@ -11,6 +11,7 @@ package dram
 import (
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 )
 
 type bank struct {
@@ -160,6 +161,17 @@ func (m *Model) ResetStats() {
 	m.RowHits.Reset()
 	m.RowMisses.Reset()
 	m.TotalLatency.Reset()
+}
+
+// RegisterMetrics registers the model's counters with a telemetry
+// registry; Snapshot ratios rebuild the mean-read-latency and row-hit-rate
+// metrics from them.
+func (m *Model) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".reads", &m.Reads)
+	r.RegisterCounter(prefix+".writes", &m.Writes)
+	r.RegisterCounter(prefix+".row_hits", &m.RowHits)
+	r.RegisterCounter(prefix+".row_misses", &m.RowMisses)
+	r.RegisterCounter(prefix+".read_latency", &m.TotalLatency)
 }
 
 // Reset returns the model to its just-constructed state: statistics,

@@ -41,6 +41,13 @@ type Options struct {
 	// rendered as "deg" in the affected tables, never an error. Nil keeps
 	// the exact uninstrumented simulation path.
 	Inject *faults.SimInjection
+	// TraceDir, when non-empty, writes one Chrome trace-event JSON file
+	// per (mix, scheme) mix run into that directory (which must exist),
+	// named trace_<tag>_<mix>_<scheme>.json. Empty keeps the exact
+	// uninstrumented simulation path; tables are unaffected either way.
+	TraceDir string
+	// TraceSample records every Nth traced event (<= 0: every event).
+	TraceSample int
 }
 
 // PerfSchemes are the four schemes of Figures 15/16/18/19.

@@ -13,12 +13,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ivleague/internal/config"
 	"ivleague/internal/sim"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
 )
 
@@ -73,9 +78,23 @@ func (o *Options) forEach(n int, fn func(i int) error) error {
 		par = n
 	}
 	errs := make([]error, n)
+	// done counts completions (not indices), so the "[k/n]" prefix doubles
+	// as a progress bar; the wall-clock is reporting-only and never reaches
+	// simulation state or an emitted table.
+	var done atomic.Int64
+	cell := func(i int) {
+		//ivlint:allow determinism — per-cell wall-clock is progress reporting only, never reaches simulation state
+		start := time.Now()
+		errs[i] = runOne(fn, i)
+		k := done.Add(1)
+		if o.Progress != nil {
+			//ivlint:allow determinism — per-cell wall-clock is progress reporting only, never reaches simulation state
+			o.progress("[%d/%d] cell %d done in %s", k, n, i, time.Since(start).Round(time.Millisecond))
+		}
+	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = runOne(fn, i)
+			cell(i)
 		}
 		return errors.Join(errs...)
 	}
@@ -86,7 +105,7 @@ func (o *Options) forEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = runOne(fn, i)
+				cell(i)
 			}
 		}()
 	}
@@ -165,11 +184,22 @@ func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob)
 	out := make([]sim.Result, len(jobs))
 	err := o.forEach(len(jobs), func(i int) error {
 		cfg := deriveCfg(jobs[i])
-		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix, o.Inject.MachineOptions()...)
+		opts := o.Inject.MachineOptions()
+		var tracer *telemetry.Tracer
+		if o.TraceDir != "" {
+			tracer = telemetry.NewTracer(0, o.TraceSample)
+			opts = append(opts, sim.WithTracer(tracer))
+		}
+		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix, opts...)
 		if err != nil {
 			return fmt.Errorf("figures: %s: %w", tag, err)
 		}
 		out[i] = res
+		if tracer != nil {
+			if err := writeTraceFile(o.TraceDir, tag, jobs[i], tracer); err != nil {
+				return err
+			}
+		}
 		o.progress("%s %-4s %-18s failed=%v", tag, jobs[i].mix.Name, jobs[i].scheme, res.Failed)
 		return nil
 	})
@@ -177,4 +207,22 @@ func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob)
 		return nil, err
 	}
 	return out, nil
+}
+
+// writeTraceFile exports one run's events as Chrome trace-event JSON into
+// dir. Each worker writes its own file, so no synchronization is needed.
+func writeTraceFile(dir, tag string, job mixSchemeJob, tr *telemetry.Tracer) error {
+	name := fmt.Sprintf("trace_%s_%s_%s.json", tag, job.mix.Name, job.scheme)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("figures: trace: %w", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("figures: trace %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("figures: trace %s: %w", name, err)
+	}
+	return nil
 }

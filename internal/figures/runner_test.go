@@ -76,14 +76,25 @@ func TestSyncWriterKeepsLinesIntact(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// forEach adds one "[k/n] cell i done" completion line per cell on top
+	// of the 200 lines fn prints; both kinds must arrive unfragmented.
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 200 {
-		t.Fatalf("got %d lines, want 200", len(lines))
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
 	}
+	var fnLines, cellLines int
 	for _, l := range lines {
-		if !strings.HasPrefix(l, "line ") || !strings.HasSuffix(l, "of a progress report") {
+		switch {
+		case strings.HasPrefix(l, "line ") && strings.HasSuffix(l, "of a progress report"):
+			fnLines++
+		case strings.HasPrefix(l, "[") && strings.Contains(l, "] cell ") && strings.Contains(l, " done in "):
+			cellLines++
+		default:
 			t.Fatalf("interleaved progress line: %q", l)
 		}
+	}
+	if fnLines != 200 || cellLines != 200 {
+		t.Fatalf("got %d fn lines and %d completion lines, want 200 each", fnLines, cellLines)
 	}
 	// Wrapping twice must not double-lock.
 	w := o.Progress

@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestRunWritesTraceFiles drives the harness with TraceDir set and checks
+// that every (mix, scheme) mix run exports a valid Chrome trace-event
+// JSON file, while the figure tables stay identical to an untraced run.
+func TestRunWritesTraceFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed figures")
+	}
+	dir := t.TempDir()
+	o := tinyOptions(t, "S-1")
+	o.TraceDir = dir
+	o.TraceSample = 16
+	rs, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(o.Mixes) * len(o.Schemes)
+	if len(entries) != want {
+		t.Fatalf("%d trace files, want %d", len(entries), want)
+	}
+	nameRE := regexp.MustCompile(`^trace_mix_S-1_.+\.json$`)
+	for _, e := range entries {
+		if !nameRE.MatchString(e.Name()) {
+			t.Fatalf("unexpected trace file name %q", e.Name())
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", e.Name(), err)
+		}
+		if len(out.TraceEvents) == 0 {
+			t.Fatalf("%s: empty traceEvents", e.Name())
+		}
+	}
+
+	// Tracing must not change a single table cell.
+	plain := tinyOptions(t, "S-1")
+	rsPlain, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tTraced, err := rs.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPlain, err := rsPlain.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(tTraced.String()), []byte(tPlain.String())) {
+		t.Fatalf("tracing changed Fig15:\n%s\nvs\n%s", tTraced, tPlain)
+	}
+}

@@ -1,0 +1,145 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags order-dependent floating-point accumulation inside a
+// range over a map. Integer accumulation commutes exactly, but float
+// addition and multiplication are not associative, so summing map values
+// in Go's randomized iteration order produces run-to-run ULP drift — the
+// kind of nondeterminism that survives a casual review because the result
+// is "almost" identical. The determinism analyzer already pushes loops
+// toward stats.SortedKeys; this check catches the specifically dangerous
+// case even where a map range was explicitly allowed.
+var FloatAccum = &Analyzer{
+	Name: "floataccum",
+	Doc: "forbid accumulating floats across a range over a map, whose " +
+		"iteration order makes the rounded sum nondeterministic",
+	Packages: []string{
+		"ivleague/internal/stats",
+		"ivleague/internal/figures",
+	},
+	Run: runFloatAccum,
+}
+
+func runFloatAccum(p *Pass) {
+	reported := map[token.Pos]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.TypesInfo.TypeOf(rng.X); t == nil || !rangesOverMap(t) {
+				return true
+			}
+			ast.Inspect(rng.Body, func(in ast.Node) bool {
+				as, ok := in.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if pos, ok := p.floatAccumulation(as, rng); ok && !reported[pos] {
+					reported[pos] = true
+					p.Reportf(pos, "floating-point accumulation over a map range is "+
+						"iteration-order dependent; iterate stats.SortedKeys(m) instead")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// floatAccumulation reports whether as accumulates a float into a target
+// declared outside the map range rng: either a compound assignment
+// (x += v, x *= v, ...) or the spelled-out x = x + v form.
+func (p *Pass) floatAccumulation(as *ast.AssignStmt, rng *ast.RangeStmt) (token.Pos, bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if p.isFloat(lhs) && p.declaredOutside(lhs, rng) {
+			return as.Pos(), true
+		}
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if p.isFloat(lhs) && p.declaredOutside(lhs, rng) &&
+				p.selfReferential(as.Rhs[i], lhs) {
+				return as.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// isFloat reports whether e has a floating-point type.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the assignment target lives beyond the
+// loop: an identifier declared outside rng's span, or a selector/index
+// expression (struct fields and container elements always survive the
+// loop). Loop-local temporaries are order-safe and ignored.
+func (p *Pass) declaredOutside(e ast.Expr, rng *ast.RangeStmt) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.TypesInfo.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return p.declaredOutside(e.X, rng)
+	}
+	return false
+}
+
+// selfReferential reports whether rhs mentions the assignment target —
+// the x = x + v accumulation spelled without the compound token.
+func (p *Pass) selfReferential(rhs, lhs ast.Expr) bool {
+	target, ok := lhs.(*ast.Ident)
+	if !ok {
+		// x.f = x.f + v: conservatively match on the field object.
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := p.TypesInfo.ObjectOf(sel.Sel)
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SelectorExpr); ok && p.TypesInfo.ObjectOf(s.Sel) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	obj := p.TypesInfo.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -193,6 +193,10 @@ func TestPrintcallGolden(t *testing.T) {
 	checkWants(t, loadTestDir(t, "printp"), []*Analyzer{unscoped(Printcall)})
 }
 
+func TestFloatAccumGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "floatacc"), []*Analyzer{unscoped(FloatAccum)})
+}
+
 // countFor returns the diagnostics whose message contains substr.
 func countFor(diags []Diagnostic, substr string) int {
 	n := 0
@@ -217,6 +221,7 @@ func TestDeletingSuppressionFails(t *testing.T) {
 		{"panicp", unscoped(PanicPath), "//ivlint:allow panicpath", "panic in checked"},
 		{"determ", unscoped(Determinism), "//ivlint:allow determinism — counting keys is order-independent\n", "range over map"},
 		{"printp", unscoped(Printcall), "//ivlint:allow printcall", "fmt.Println writes to stdout"},
+		{"floatacc", unscoped(FloatAccum), "//ivlint:allow floataccum", "floating-point accumulation"},
 	}
 	for _, tc := range cases {
 		srcs := readTestDir(t, tc.dir)
@@ -258,6 +263,25 @@ func TestHotPathPanicReintroduction(t *testing.T) {
 	diags := Run(loadTestSrc(t, "panicp", edited), []*Analyzer{unscoped(PanicPath)})
 	if n := countFor(diags, "panic in hot"); n != 1 {
 		t.Fatalf("re-introduced hot-path panic produced %d diagnostics, want 1", n)
+	}
+}
+
+// Re-introducing a float accumulation over a map range must produce a
+// diagnostic — the failure direction that keeps ULP-drift nondeterminism
+// out of the stats and figures packages.
+func TestFloatAccumReintroduction(t *testing.T) {
+	srcs := readTestDir(t, "floatacc")
+	edited := map[string]string{}
+	for name, src := range srcs {
+		edited[name] = strings.Replace(src,
+			"func sumValues(m map[string]float64) float64 {",
+			"func mean(m map[string]float64) float64 {\n\ts := 0.0\n\tfor _, v := range m {\n\t\ts += v\n\t}\n\treturn s / float64(len(m))\n}\n\nfunc sumValues(m map[string]float64) float64 {", 1)
+	}
+	before := Run(loadTestDir(t, "floatacc"), []*Analyzer{unscoped(FloatAccum)})
+	after := Run(loadTestSrc(t, "floatacc", edited), []*Analyzer{unscoped(FloatAccum)})
+	b, a := countFor(before, "floating-point accumulation"), countFor(after, "floating-point accumulation")
+	if a != b+1 {
+		t.Fatalf("re-introduced float accumulation changed diagnostics %d -> %d, want +1", b, a)
 	}
 }
 

@@ -1,0 +1,107 @@
+// Package floatacc exercises the floataccum analyzer's golden diagnostics.
+package floatacc
+
+type row struct {
+	total float64
+	count int
+}
+
+func sumValues(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over a map range`
+	}
+	return sum
+}
+
+func sumSpelledOut(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation over a map range`
+	}
+	return sum
+}
+
+func product(m map[int]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation over a map range`
+	}
+	return p
+}
+
+func intoField(m map[string]float64, r *row) {
+	for _, v := range m {
+		r.total += v // want `floating-point accumulation over a map range`
+	}
+}
+
+func nestedLoop(m map[string][]float64) float64 {
+	sum := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			sum += v // want `floating-point accumulation over a map range`
+		}
+	}
+	return sum
+}
+
+func intAccumulationIsExact(m map[string]int) int {
+	// Integer addition commutes exactly; order cannot change the result.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func intoFieldCount(m map[string]float64, r *row) {
+	// Integer field accumulation is likewise exact.
+	for range m {
+		r.count++
+	}
+}
+
+func loopLocalIsSafe(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		// A float temporary born and consumed inside one iteration never
+		// sees more than one value; no cross-iteration order dependence.
+		scaled := 0.0
+		scaled += v * 2
+		if scaled > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func sliceRangeIsSafe(vs []float64) float64 {
+	// Slices iterate in index order; accumulation is deterministic.
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+func maxIsOrderFree(m map[string]float64) float64 {
+	// Selection (max/min) is order-independent; only arithmetic
+	// accumulation is flagged.
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func allowedAccumulation(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		//ivlint:allow floataccum — demo: result feeds a tolerance check, not an emitted table
+		sum += v
+	}
+	return sum
+}

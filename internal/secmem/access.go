@@ -6,8 +6,21 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/tree"
 )
+
+// auditTouch records one integrity-metadata touch with the attached audit.
+// Counter blocks and PTE blocks are deliberately not recorded: both are
+// statically addressed (per-frame / per-domain), so frame reuse across
+// domains over time would register as sharing without any tree node ever
+// being shared. Cache-eviction writebacks are likewise excluded — evicting
+// another domain's victim is a hardware artifact, not a metadata use.
+func (c *Controller) auditTouch(domain, tl, level, node int) {
+	if c.audit != nil {
+		c.audit.Touch(domain, telemetry.NodeKey{TreeLing: tl, Level: level, Node: node})
+	}
+}
 
 // OnPageMap performs the scheme's work when the OS maps a new page into a
 // domain: IvLeague assigns a TreeLing slot (possibly assigning a whole new
@@ -25,7 +38,7 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		}
 		c.pageSlots[pfn] = slot
 		c.lmm.Access(domain, vpn, true) // install the LMM entry
-		lat, err := c.replayOps(now)
+		lat, err := c.replayOps(now, domain)
 		if err != nil {
 			return 0, err
 		}
@@ -34,6 +47,13 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		// the faulting access.
 		if cap := 2 * c.cfg.DRAM.RowMissLatency; lat > cap {
 			lat = cap
+		}
+		if c.tracer != nil {
+			c.tracer.Emit(telemetry.Event{
+				Class: telemetry.ClassPageMap, TS: float64(now), Dur: float64(lat),
+				Core: -1, Domain: domain, TreeLing: slot.TreeLing(),
+				Level: c.lay.LevelOf(slot.Node()), Node: slot.Node(),
+			})
 		}
 		if c.forest != nil {
 			// Fresh pages verify against their zero counter block.
@@ -80,7 +100,15 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, 
 		}
 		delete(c.pageSlots, pfn)
 		c.lmm.Invalidate(domain, vpn)
-		return c.replayOps(now)
+		lat, err := c.replayOps(now, domain)
+		if err == nil && c.tracer != nil {
+			c.tracer.Emit(telemetry.Event{
+				Class: telemetry.ClassPageUnmap, TS: float64(now), Dur: float64(lat),
+				Core: -1, Domain: domain, TreeLing: slot.TreeLing(),
+				Level: c.lay.LevelOf(slot.Node()), Node: slot.Node(),
+			})
+		}
+		return lat, err
 	}
 	if c.global != nil {
 		c.global.Update(pfn, c.counters.Snapshot(pfn))
@@ -132,7 +160,7 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 		if ns, migrated := c.ivc.OnAccess(domain, pfn, slot, &c.ops); migrated {
 			slot = ns
 		}
-		rlat, err := c.replayOps(now)
+		rlat, err := c.replayOps(now, domain)
 		if err != nil {
 			return 0, err
 		}
@@ -313,6 +341,9 @@ func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.Sl
 		c.pathBuf = c.ivc.PathNodes(slot, c.pathBuf[:0])
 		tl := slot.TreeLing()
 		for _, node := range c.pathBuf {
+			// A cache hit still uses the node, so the touch is recorded
+			// before the walk can terminate on it.
+			c.auditTouch(domain, tl, c.lay.LevelOf(node), node)
 			done, err := step(c.lay.TreeLingNodeAddr(tl, node))
 			if err != nil {
 				return 0, err
@@ -330,6 +361,7 @@ func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.Sl
 		}
 		for level := 1; level <= top; level++ {
 			idx := c.lay.GlobalNodeIndex(pfn, level)
+			c.auditTouch(domain, telemetry.GlobalTreeLing, level, int(idx))
 			done, err := step(c.lay.GlobalNodeAddr(level, idx))
 			if err != nil {
 				return 0, err
@@ -340,6 +372,16 @@ func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.Sl
 		}
 	}
 	c.pathHist(domain).Observe(pathLen)
+	if c.tracer != nil {
+		tl, node := -1, -1
+		if c.ivc != nil {
+			tl, node = slot.TreeLing(), slot.Node()
+		}
+		c.tracer.Emit(telemetry.Event{
+			Class: telemetry.ClassVerify, TS: float64(now), Dur: float64(lat),
+			Core: -1, Domain: domain, TreeLing: tl, Level: pathLen, Node: node,
+		})
+	}
 	return lat, nil
 }
 
@@ -351,8 +393,11 @@ func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot cor
 	var err error
 	if c.ivc != nil {
 		addr, err = c.lay.TreeLingNodeAddr(slot.TreeLing(), slot.Node())
+		c.auditTouch(domain, slot.TreeLing(), c.lay.LevelOf(slot.Node()), slot.Node())
 	} else {
-		addr, err = c.lay.GlobalNodeAddr(1, c.lay.GlobalNodeIndex(pfn, 1))
+		idx := c.lay.GlobalNodeIndex(pfn, 1)
+		addr, err = c.lay.GlobalNodeAddr(1, idx)
+		c.auditTouch(domain, telemetry.GlobalTreeLing, 1, int(idx))
 	}
 	if err != nil {
 		return 0, err
@@ -390,13 +435,14 @@ func (c *Controller) functionalVerify(domain int, pfn uint64, slot core.SlotID) 
 
 // replayOps charges the metadata-management memory traffic produced by
 // the domain controller (NFL reads/writes, node hash moves, TreeLing
-// initialization). TreeLing-node traffic goes through the tree cache;
-// NFL and PTE traffic goes straight to DRAM (the NFLB is its only cache).
+// initialization) on behalf of domain. TreeLing-node traffic goes through
+// the tree cache; NFL and PTE traffic goes straight to DRAM (the NFLB is
+// its only cache).
 //
 // It is the single checkpoint for address errors latched by the OpList: if
 // any emission site produced a malformed address, no traffic is charged
 // and the error is returned.
-func (c *Controller) replayOps(now uint64) (int, error) {
+func (c *Controller) replayOps(now uint64, domain int) (int, error) {
 	if err := c.ops.Err(); err != nil {
 		c.ops.Reset()
 		return 0, err
@@ -404,6 +450,11 @@ func (c *Controller) replayOps(now uint64) (int, error) {
 	lat := 0
 	for _, op := range c.ops.Ops {
 		if op.Addr >= c.lay.TreeLingBase && op.Addr < c.lay.NFLBase {
+			if c.audit != nil {
+				if tl, node, err := c.lay.TreeLingNodeOfAddr(op.Addr); err == nil {
+					c.auditTouch(domain, tl, c.lay.LevelOf(node), node)
+				}
+			}
 			res := c.treeCache.Access(op.Addr, op.Write)
 			lat += res.Latency
 			if res.EvictedDirty {
@@ -413,6 +464,14 @@ func (c *Controller) replayOps(now uint64) (int, error) {
 				lat += c.dram.Access(now, op.Addr, op.Write)
 			}
 			continue
+		}
+		if c.audit != nil && op.Addr >= c.lay.NFLBase && op.Addr < c.lay.PTBase {
+			// NFL blocks are per-TreeLing metadata: attribute them like
+			// tree nodes, under the pseudo-level LevelNFL.
+			blockIdx := int((op.Addr - c.lay.NFLBase) / config.BlockBytes)
+			tl := blockIdx / c.lay.NFLBlocksPerTreeLing
+			blk := blockIdx % c.lay.NFLBlocksPerTreeLing
+			c.auditTouch(domain, tl, telemetry.LevelNFL, blk)
 		}
 		lat += c.dram.Access(now, op.Addr, op.Write)
 	}

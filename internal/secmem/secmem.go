@@ -22,6 +22,7 @@ import (
 	"ivleague/internal/dram"
 	"ivleague/internal/layout"
 	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/tree"
 )
 
@@ -69,6 +70,11 @@ type Controller struct {
 
 	ops     core.OpList
 	pathBuf []int
+
+	// Observability (nil by default; attached via SetTracer/SetAudit).
+	// Every use is behind a nil check so a plain run pays nothing.
+	tracer *telemetry.Tracer
+	audit  *telemetry.Audit
 
 	// Functional data plane (WithFunctional only): ciphertext + MAC per
 	// block address.
@@ -290,7 +296,7 @@ func (c *Controller) DestroyDomain(id int) error {
 	case c.ivc != nil:
 		c.ops.Reset()
 		err := c.ivc.DestroyDomain(id, &c.ops)
-		if _, rerr := c.replayOps(0); rerr != nil && err == nil {
+		if _, rerr := c.replayOps(0, id); rerr != nil && err == nil {
 			err = rerr
 		}
 		return err
@@ -314,6 +320,56 @@ func (c *Controller) PartitionRange(domainID int) (lo, hi uint64) {
 	}
 	size := c.lay.Pages / uint64(c.partCount)
 	return uint64(p) * size, uint64(p+1) * size
+}
+
+// SetTracer attaches an event tracer; verification walks and page
+// map/unmap operations are emitted as events. Nil detaches.
+func (c *Controller) SetTracer(t *telemetry.Tracer) { c.tracer = t }
+
+// SetAudit attaches an isolation audit that accounts every integrity-
+// metadata touch by (domain, TreeLing, level, node). Nil detaches.
+func (c *Controller) SetAudit(a *telemetry.Audit) { c.audit = a }
+
+// RegisterMetrics registers every statistic the controller and its
+// subcomponents maintain — DRAM, the metadata caches, the counter store,
+// the domain controller (with per-domain NFLB counters), the LMM cache,
+// the functional trees and the per-domain path-length histograms — and a
+// reset hook equivalent to ResetStats, so Registry.Reset is the single
+// warmup boundary and a new stat source cannot be forgotten.
+func (c *Controller) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".data_reads", &c.DataReads)
+	r.RegisterCounter(prefix+".data_writes", &c.DataWrites)
+	r.RegisterCounter(prefix+".verifications", &c.Verifications)
+	r.RegisterCounter(prefix+".overflows", &c.Overflows)
+	r.RegisterCounter(prefix+".swap_penalties", &c.SwapPenalties)
+	r.RegisterCounter(prefix+".tamper_events", &c.TamperEvents)
+	c.dram.RegisterMetrics(r, prefix+".dram")
+	c.counterCache.RegisterMetrics(r, prefix+".ctr_cache")
+	c.treeCache.RegisterMetrics(r, prefix+".tree_cache")
+	c.counters.RegisterMetrics(r, prefix+".ctr")
+	if c.ivc != nil {
+		c.ivc.RegisterMetrics(r, prefix+".core")
+	}
+	if c.lmm != nil {
+		c.lmm.RegisterMetrics(r, prefix+".lmm")
+	}
+	if c.forest != nil {
+		c.forest.RegisterMetrics(r, prefix+".forest")
+	}
+	if c.global != nil {
+		c.global.RegisterMetrics(r, prefix+".global_tree")
+	}
+	// PathLen histograms appear per domain as verification walks happen;
+	// sample them dynamically rather than binding names at registration.
+	r.RegisterSampler(func(s *telemetry.Sample) {
+		for _, dom := range stats.SortedKeys(c.PathLen) {
+			h := c.PathLen[dom]
+			base := fmt.Sprintf("%s.pathlen.d%d", prefix, dom)
+			s.Counter(base+".count", h.Count())
+			s.Gauge(base+".mean", h.Mean())
+		}
+	})
+	r.RegisterReset(c.ResetStats)
 }
 
 // pathHist returns the per-domain verification path histogram.
@@ -352,5 +408,11 @@ func (c *Controller) ResetStats() {
 	c.Overflows.Reset()
 	c.SwapPenalties.Reset()
 	c.TamperEvents.Reset()
+	if c.forest != nil {
+		c.forest.ResetStats()
+	}
+	if c.global != nil {
+		c.global.ResetStats()
+	}
 	c.PathLen = make(map[int]*stats.Histogram)
 }

@@ -15,6 +15,7 @@ import (
 	"ivleague/internal/osmodel"
 	"ivleague/internal/pagetable"
 	"ivleague/internal/secmem"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/trace"
 	"ivleague/internal/tree"
 	"ivleague/internal/workload"
@@ -88,6 +89,14 @@ type Machine struct {
 	// access (internal/trace format). Set with RecordTrace.
 	traceW *trace.Writer
 
+	// reg aggregates every component's counters; Run reads the Result off
+	// one snapshot instead of polling components by hand.
+	reg *telemetry.Registry
+	// tracer, when set (WithTracer), receives sampled per-op events for
+	// Chrome-trace export. Nil by default: the emit sites are behind nil
+	// checks so the common path pays nothing.
+	tracer *telemetry.Tracer
+
 	// Cycle decomposition (diagnostics): where simulated time goes.
 	CycBase, CycTLB, CycFault, CycMiss, CycWb float64
 }
@@ -104,6 +113,8 @@ type MachineOption func(*machineOpts)
 type machineOpts struct {
 	memOpts []secmem.Option
 	opHook  func(*Machine, uint64) error
+	tracer  *telemetry.Tracer
+	audit   *telemetry.Audit
 }
 
 // WithFunctionalMem runs the secure-memory controller with its functional
@@ -120,6 +131,20 @@ func WithFunctionalMem() MachineOption {
 // ErrCrashInjected to model a power loss at that op.
 func WithOpHook(h func(*Machine, uint64) error) MachineOption {
 	return func(o *machineOpts) { o.opHook = h }
+}
+
+// WithTracer attaches an event tracer: the machine emits a sampled event
+// per memory operation and the controller one per verification walk and
+// page map/unmap, for Chrome-trace export after the run.
+func WithTracer(tr *telemetry.Tracer) MachineOption {
+	return func(o *machineOpts) { o.tracer = tr }
+}
+
+// WithAudit attaches an isolation audit: the controller records every
+// integrity-metadata touch by (domain, TreeLing, level, node) so the run
+// can prove (or disprove) that domains never share tree nodes.
+func WithAudit(a *telemetry.Audit) MachineOption {
+	return func(o *machineOpts) { o.audit = a }
 }
 
 // NewMachine builds a machine running the given mix under the scheme.
@@ -218,8 +243,61 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 			coreIdx++
 		}
 	}
+	m.registerMetrics()
+	if mo.tracer != nil {
+		m.tracer = mo.tracer
+		mem.SetTracer(mo.tracer)
+	}
+	if mo.audit != nil {
+		mem.SetAudit(mo.audit)
+	}
 	return m, nil
 }
+
+// registerMetrics wires every component's counters into one registry, so
+// Run (and external consumers via Registry) read a single snapshot instead
+// of polling components, and resetStats is one Reset call.
+func (m *Machine) registerMetrics() {
+	m.reg = telemetry.NewRegistry()
+	m.mem.RegisterMetrics(m.reg, "secmem")
+	m.l3.RegisterMetrics(m.reg, "sim.l3")
+	for i, t := range m.threads {
+		t.l1.RegisterMetrics(m.reg, fmt.Sprintf("sim.core%d.l1", i))
+		t.l2.RegisterMetrics(m.reg, fmt.Sprintf("sim.core%d.l2", i))
+		t := t
+		m.reg.RegisterGauge(fmt.Sprintf("sim.core%d.cycles", i), func() float64 {
+			return t.cycles - t.cycles0
+		})
+		m.reg.RegisterGauge(fmt.Sprintf("sim.core%d.instret", i), func() float64 {
+			return float64(t.instret - t.instret0)
+		})
+		m.reg.RegisterReset(func() {
+			t.l1.ResetStats()
+			t.l2.ResetStats()
+			t.cycles0 = t.cycles
+			t.instret0 = t.instret
+		})
+	}
+	if ivc := m.mem.IvLeague(); ivc != nil {
+		// NFLB hit rate is aggregated per *thread*, not per domain — a
+		// two-thread domain counts twice — matching the Figure 18 metric.
+		m.reg.RegisterSampler(func(s *telemetry.Sample) {
+			for _, t := range m.threads {
+				b := ivc.NFLBOf(t.proc.DomainID)
+				if b == nil {
+					continue
+				}
+				s.Counter("sim.nflb.hits", b.Hits.Value())
+				s.Counter("sim.nflb.misses", b.Misses.Value())
+			}
+		})
+	}
+	m.reg.RegisterGauge("sim.ops", func() float64 { return float64(m.opCount) })
+}
+
+// Registry exposes the machine's metrics registry for snapshots; the
+// counters reflect the current phase (reset at the warmup boundary).
+func (m *Machine) Registry() *telemetry.Registry { return m.reg }
 
 func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
 	m.owners[pfn] = owner{domain: domain, vpn: vpn}
@@ -306,6 +384,7 @@ func (m *Machine) step(t *thread) error {
 	}
 	addr := pfn<<config.PageShift | uint64(ev.Block)<<config.BlockShift
 	dom := t.proc.DomainID
+	opStart := t.cycles
 
 	// Cache hierarchy. Stores are write-allocate: a miss fetches the line
 	// (read path); dirty data reaches the secure write path on eviction.
@@ -316,6 +395,7 @@ func (m *Machine) step(t *thread) error {
 	if r1.Hit {
 		t.cycles += float64(cc.L1Latency)
 		m.CycBase += float64(cc.L1Latency)
+		m.traceOp(t, dom, ev.Write, opStart)
 		return nil
 	}
 	r2 := t.l2.Access(addr, false)
@@ -343,7 +423,24 @@ func (m *Machine) step(t *thread) error {
 	t.cycles += float64(cc.L1Latency) + (1-cc.MLP)*missLat
 	m.CycBase += float64(cc.L1Latency)
 	m.CycMiss += (1 - cc.MLP) * missLat
+	m.traceOp(t, dom, ev.Write, opStart)
 	return nil
+}
+
+// traceOp emits a sampled read/write event covering one memory operation's
+// charged cycles. No-op when tracing is off.
+func (m *Machine) traceOp(t *thread, dom int, write bool, start float64) {
+	if m.tracer == nil {
+		return
+	}
+	class := telemetry.ClassRead
+	if write {
+		class = telemetry.ClassWrite
+	}
+	m.tracer.Emit(telemetry.Event{
+		Class: class, TS: start, Dur: t.cycles - start,
+		Core: t.core, Domain: dom, TreeLing: -1, Level: -1, Node: -1,
+	})
 }
 
 // writeback pushes a dirty line one level down the hierarchy.
@@ -483,13 +580,16 @@ func (m *Machine) Run() Result {
 			res.IPC = append(res.IPC, 0)
 		}
 	}
-	res.MemAccesses = m.mem.MemAccesses()
-	res.DRAMReadLat = m.mem.DRAM().MeanReadLatency()
-	res.Verification = m.mem.Verifications.Value()
-	res.Swaps = m.mem.SwapPenalties.Value()
-	res.TreeHitRate = m.mem.TreeCache().HitRate()
-	res.CtrHitRate = m.mem.CounterCache().HitRate()
-	res.L3MissRate = 1 - m.l3.HitRate()
+	// Aggregate statistics come off one registry snapshot; the counter
+	// names and ratio math mirror the component accessors exactly.
+	snap := m.reg.Snapshot()
+	res.MemAccesses = snap.Counter("secmem.dram.reads") + snap.Counter("secmem.dram.writes")
+	res.DRAMReadLat = snap.Ratio("secmem.dram.read_latency", "secmem.dram.reads")
+	res.Verification = snap.Counter("secmem.verifications")
+	res.Swaps = snap.Counter("secmem.swap_penalties")
+	res.TreeHitRate = snap.HitRate("secmem.tree_cache")
+	res.CtrHitRate = snap.HitRate("secmem.ctr_cache")
+	res.L3MissRate = 1 - snap.HitRate("sim.l3")
 	// Per-benchmark verification path length (domains map 1:1 to procs).
 	seen := map[string]bool{}
 	for _, t := range m.threads {
@@ -502,32 +602,25 @@ func (m *Machine) Run() Result {
 		}
 	}
 	if ivc := m.mem.IvLeague(); ivc != nil {
-		hits, misses := uint64(0), uint64(0)
-		for _, t := range m.threads {
-			b := ivc.NFLBOf(t.proc.DomainID)
-			if b == nil {
-				continue
-			}
-			hits += b.Hits.Value()
-			misses += b.Misses.Value()
-		}
-		if hits+misses > 0 {
-			res.NFLBHitRate = float64(hits) / float64(hits+misses)
-		}
+		res.NFLBHitRate = snap.HitRate("sim.nflb")
 		res.Utilization, res.Untracked = ivc.Utilization()
-		res.LMMHitRate = m.mem.LMM().HitRate()
+		res.LMMHitRate = snap.HitRate("secmem.lmm")
 	}
 	return res
 }
 
+// resetStats marks the warmup→measure boundary: one registry Reset zeroes
+// every registered counter and runs each component's reset hook (secmem,
+// per-core cycle/instret snapshots), replacing the old per-component
+// choreography.
 func (m *Machine) resetStats() {
-	m.mem.ResetStats()
-	m.l3.ResetStats()
-	for _, t := range m.threads {
-		t.l1.ResetStats()
-		t.l2.ResetStats()
-		t.cycles0 = t.cycles
-		t.instret0 = t.instret
+	m.reg.Reset()
+	m.reg.SetPhase(telemetry.PhaseMeasure)
+	if m.tracer != nil {
+		m.tracer.EmitAlways(telemetry.Event{
+			Class: telemetry.ClassPhase, TS: float64(m.now()),
+			Core: -1, Domain: 0, TreeLing: -1, Level: -1, Node: -1,
+		})
 	}
 }
 

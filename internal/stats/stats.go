@@ -159,6 +159,61 @@ func (h *Histogram) Bucket(v int) uint64 {
 	return h.over
 }
 
+// Reset zeroes all buckets and totals, keeping the bucket geometry.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.over = 0
+	h.sum = 0
+	h.n = 0
+}
+
+// Quantile returns the smallest sample value v such that at least p (in
+// [0,1]) of all samples are <= v. When the quantile falls into the
+// overflow bucket the result is max+1 (one past the largest tracked
+// value), signalling "beyond the histogram's range". Empty histograms
+// return 0.
+func (h *Histogram) Quantile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := uint64(math.Ceil(p * float64(h.n)))
+	if need == 0 {
+		need = 1
+	}
+	cum := uint64(0)
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.buckets) // overflow bucket
+}
+
+// Merge adds o's samples into h. The two histograms must have identical
+// bucket geometry; a mismatch is an error and leaves h unchanged.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.buckets) != len(o.buckets) {
+		return fmt.Errorf("stats: merging histograms with %d and %d buckets",
+			len(h.buckets), len(o.buckets))
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.over += o.over
+	h.sum += o.sum
+	h.n += o.n
+	return nil
+}
+
 // Table renders rows of labeled float columns as an aligned text table;
 // it is the shared formatter for cmd/ivbench figure output.
 type Table struct {

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKey identifies one integrity-metadata storage unit in memory:
+//   - a TreeLing tree node: TreeLing >= 0, Level >= 1, Node = top-down index
+//   - a TreeLing NFL block: TreeLing >= 0, Level == LevelNFL, Node = block
+//   - a global-tree node (Baseline/StaticPartition): TreeLing ==
+//     GlobalTreeLing, Level >= 1, Node = index within the level.
+type NodeKey struct {
+	TreeLing int
+	Level    int
+	Node     int
+}
+
+// GlobalTreeLing marks keys in the globally shared tree.
+const GlobalTreeLing = -1
+
+// LevelNFL marks NFL (node free list) blocks, which sit outside the tree
+// levels but are per-TreeLing metadata all the same.
+const LevelNFL = -1
+
+// Audit accounts every metadata touch by (domain, TreeLing, level, node),
+// the empirical check behind the paper's isolation claim: under the
+// IvLeague schemes no node may ever be touched by two different domains,
+// while the shared global tree of the baseline (and the upper levels
+// reachable through swapped pages under static partitioning) show exactly
+// the cross-domain sharing the side channel exploits.
+//
+// The audit deliberately covers integrity metadata only: counter blocks
+// and PTE blocks are statically addressed per-frame/per-domain, and cache
+// eviction writebacks of other domains' victims are hardware artifacts,
+// not metadata *uses* by the accessing domain.
+type Audit struct {
+	nodes map[NodeKey]*nodeTouches
+	total uint64
+}
+
+type nodeTouches struct {
+	first    int // first domain to touch the node
+	byDomain map[int]uint64
+}
+
+// NewAudit creates an empty audit.
+func NewAudit() *Audit {
+	return &Audit{nodes: make(map[NodeKey]*nodeTouches)}
+}
+
+// Touch records that domain used the metadata node identified by key.
+func (a *Audit) Touch(domain int, key NodeKey) {
+	a.total++
+	nt := a.nodes[key]
+	if nt == nil {
+		nt = &nodeTouches{first: domain, byDomain: make(map[int]uint64, 1)}
+		a.nodes[key] = nt
+	}
+	nt.byDomain[domain]++
+}
+
+// Report summarizes an audit.
+type Report struct {
+	Domains      int    // distinct domains that touched any metadata
+	Nodes        int    // distinct metadata nodes touched
+	TotalTouches uint64 // all recorded touches
+	// SharedNodes counts nodes touched by more than one domain, and
+	// CrossDomainTouches the touches on such nodes by any domain other
+	// than the node's first toucher. Both must be zero for an isolated
+	// scheme.
+	SharedNodes        int
+	CrossDomainTouches uint64
+}
+
+// Report computes the audit summary.
+func (a *Audit) Report() Report {
+	r := Report{Nodes: len(a.nodes), TotalTouches: a.total}
+	domains := map[int]bool{}
+	for _, nt := range a.nodes {
+		for d := range nt.byDomain {
+			domains[d] = true
+		}
+		if len(nt.byDomain) > 1 {
+			r.SharedNodes++
+			for d, n := range nt.byDomain {
+				if d != nt.first {
+					r.CrossDomainTouches += n
+				}
+			}
+		}
+	}
+	r.Domains = len(domains)
+	return r
+}
+
+// Isolated reports whether no metadata node was touched by two domains.
+func (r Report) Isolated() bool {
+	return r.SharedNodes == 0 && r.CrossDomainTouches == 0
+}
+
+// String renders the report for CLI output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "isolation audit: %d domains, %d metadata nodes, %d touches\n",
+		r.Domains, r.Nodes, r.TotalTouches)
+	fmt.Fprintf(&b, "  shared nodes:         %d\n", r.SharedNodes)
+	fmt.Fprintf(&b, "  cross-domain touches: %d\n", r.CrossDomainTouches)
+	if r.Isolated() {
+		b.WriteString("  ISOLATED: no metadata node was touched by more than one domain")
+	} else {
+		b.WriteString("  SHARED: metadata nodes are reachable from multiple domains")
+	}
+	return b.String()
+}
+
+// Levels returns total touches per tree level (LevelNFL for NFL blocks),
+// a coverage check that every metadata class reaches the audit.
+func (a *Audit) Levels() map[int]uint64 {
+	out := make(map[int]uint64)
+	for key, nt := range a.nodes {
+		for _, n := range nt.byDomain {
+			out[key.Level] += n
+		}
+	}
+	return out
+}
+
+// SharedKeys returns the keys of nodes touched by more than one domain, in
+// (TreeLing, Level, Node) order — the diagnostic trail when an IvLeague
+// scheme unexpectedly shares.
+func (a *Audit) SharedKeys() []NodeKey {
+	var keys []NodeKey
+	for key, nt := range a.nodes {
+		if len(nt.byDomain) > 1 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.TreeLing != b.TreeLing {
+			return a.TreeLing < b.TreeLing
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Node < b.Node
+	})
+	return keys
+}

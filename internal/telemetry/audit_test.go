@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditIsolatedDomains(t *testing.T) {
+	a := NewAudit()
+	// Two domains touching disjoint TreeLings, repeatedly.
+	for i := 0; i < 5; i++ {
+		a.Touch(1, NodeKey{TreeLing: 0, Level: 1, Node: i})
+		a.Touch(2, NodeKey{TreeLing: 3, Level: 1, Node: i})
+		a.Touch(1, NodeKey{TreeLing: 0, Level: LevelNFL, Node: 0})
+	}
+	r := a.Report()
+	if !r.Isolated() {
+		t.Fatalf("disjoint touches reported as shared: %+v", r)
+	}
+	if r.Domains != 2 || r.Nodes != 11 || r.TotalTouches != 15 {
+		t.Fatalf("report = %+v, want 2 domains, 11 nodes, 15 touches", r)
+	}
+	if !strings.Contains(r.String(), "ISOLATED") {
+		t.Fatalf("report string missing ISOLATED: %s", r)
+	}
+	if keys := a.SharedKeys(); len(keys) != 0 {
+		t.Fatalf("SharedKeys = %v, want empty", keys)
+	}
+}
+
+func TestAuditDetectsSharing(t *testing.T) {
+	a := NewAudit()
+	shared := NodeKey{TreeLing: GlobalTreeLing, Level: 2, Node: 9}
+	a.Touch(1, shared)
+	a.Touch(1, shared)
+	a.Touch(2, shared) // cross-domain
+	a.Touch(3, shared) // cross-domain
+	a.Touch(2, NodeKey{TreeLing: GlobalTreeLing, Level: 1, Node: 0})
+
+	r := a.Report()
+	if r.Isolated() {
+		t.Fatal("cross-domain touches reported as isolated")
+	}
+	if r.SharedNodes != 1 {
+		t.Fatalf("SharedNodes = %d, want 1", r.SharedNodes)
+	}
+	// Domain 1 touched first; domains 2 and 3 contribute one touch each.
+	if r.CrossDomainTouches != 2 {
+		t.Fatalf("CrossDomainTouches = %d, want 2", r.CrossDomainTouches)
+	}
+	if !strings.Contains(r.String(), "SHARED") {
+		t.Fatalf("report string missing SHARED: %s", r)
+	}
+	keys := a.SharedKeys()
+	if len(keys) != 1 || keys[0] != shared {
+		t.Fatalf("SharedKeys = %v, want [%v]", keys, shared)
+	}
+}
+
+func TestSharedKeysSorted(t *testing.T) {
+	a := NewAudit()
+	ks := []NodeKey{
+		{TreeLing: 2, Level: 1, Node: 0},
+		{TreeLing: 0, Level: 3, Node: 5},
+		{TreeLing: 0, Level: 1, Node: 9},
+		{TreeLing: 0, Level: 1, Node: 2},
+	}
+	for _, k := range ks {
+		a.Touch(1, k)
+		a.Touch(2, k)
+	}
+	got := a.SharedKeys()
+	want := []NodeKey{
+		{TreeLing: 0, Level: 1, Node: 2},
+		{TreeLing: 0, Level: 1, Node: 9},
+		{TreeLing: 0, Level: 3, Node: 5},
+		{TreeLing: 2, Level: 1, Node: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SharedKeys len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SharedKeys[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ivleague/internal/stats"
+)
+
+// Event classes recorded by the tracer.
+const (
+	ClassRead      = "read"    // demand read reaching the cache hierarchy
+	ClassWrite     = "write"   // demand write reaching the cache hierarchy
+	ClassVerify    = "verify"  // integrity verification walk
+	ClassPageMap   = "pagemap" // page mapped into a domain (slot allocation)
+	ClassPageUnmap = "pageunmap"
+	ClassPhase     = "phase" // warmup→measure boundary marker
+)
+
+// Event is one traced operation. TS and Dur are in simulated cycles.
+// TreeLing, Level and Node are -1 when the dimension does not apply (e.g.
+// a data access, or a walk of the global tree).
+type Event struct {
+	Class    string
+	TS       float64
+	Dur      float64
+	Core     int
+	Domain   int
+	TreeLing int
+	Level    int
+	Node     int
+}
+
+// Tracer records sampled events into a bounded ring buffer: when the
+// buffer is full the oldest event is overwritten, so a trace always holds
+// the most recent window of the run. The zero-cost-when-disabled contract
+// is the caller's: hot paths must guard emission behind a nil check.
+type Tracer struct {
+	buf    []Event
+	cap    int
+	head   int // index of the oldest event once the ring is full
+	sample int
+	seen   uint64
+	over   uint64
+}
+
+// NewTracer creates a tracer holding at most capacity events, recording
+// every sampleEvery-th Emit (1 = record all). Non-positive arguments fall
+// back to a 64k-event ring and no sampling.
+func NewTracer(capacity, sampleEvery int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	return &Tracer{cap: capacity, sample: sampleEvery}
+}
+
+// Emit records ev, subject to sampling and the ring bound.
+func (t *Tracer) Emit(ev Event) {
+	t.seen++
+	if t.sample > 1 && (t.seen-1)%uint64(t.sample) != 0 {
+		return
+	}
+	t.push(ev)
+}
+
+// EmitAlways records ev bypassing sampling (phase markers and other
+// structural events that must not be thinned out).
+func (t *Tracer) EmitAlways(ev Event) { t.push(ev) }
+
+func (t *Tracer) push(ev Event) {
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.head] = ev
+	t.head = (t.head + 1) % t.cap
+	t.over++
+}
+
+// Events returns the recorded events oldest-first.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.head:]...)
+	out = append(out, t.buf[:t.head]...)
+	return out
+}
+
+// Seen returns how many events were offered to Emit (before sampling).
+func (t *Tracer) Seen() uint64 { return t.seen }
+
+// Overwritten returns how many recorded events the ring displaced.
+func (t *Tracer) Overwritten() uint64 { return t.over }
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" wrapped in an object), which Perfetto and
+// chrome://tracing both load. ph "X" is a complete event with a duration,
+// "i" an instant, "M" metadata. ts/dur are interpreted as microseconds by
+// the viewers; we map one simulated cycle to one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ControllerTID is the synthetic thread ID trace rows use for memory-
+// controller events, which have no originating core.
+const ControllerTID = 99
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event JSON.
+// pid is the IV domain, tid the core (ControllerTID for memory-controller
+// events); process-name metadata labels each domain track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]chromeEvent, 0, len(events)+8)
+
+	// Deterministic process-name metadata, one per domain seen.
+	pids := map[int]bool{}
+	for _, ev := range events {
+		pids[ev.Domain] = true
+	}
+	for _, pid := range stats.SortedKeys(pids) {
+		name := fmt.Sprintf("domain %d", pid)
+		if pid <= 0 {
+			name = "system"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Class,
+			TS:   ev.TS,
+			PID:  ev.Domain,
+			TID:  ev.Core,
+		}
+		if ev.Core < 0 {
+			ce.TID = ControllerTID
+		}
+		if ev.Class == ClassPhase {
+			ce.Ph = "i"
+			ce.S = "g"
+		} else {
+			ce.Ph = "X"
+			dur := ev.Dur
+			ce.Dur = &dur
+		}
+		args := map[string]any{}
+		if ev.TreeLing >= 0 {
+			args["treeling"] = ev.TreeLing
+		}
+		if ev.Level >= 0 {
+			args["level"] = ev.Level
+		}
+		if ev.Node >= 0 {
+			args["node"] = ev.Node
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

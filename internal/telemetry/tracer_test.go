@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRingKeepsMostRecent(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Class: ClassRead, TS: float64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.TS != want {
+			t.Fatalf("event %d TS = %v, want %v (oldest-first window)", i, ev.TS, want)
+		}
+	}
+	if tr.Seen() != 10 {
+		t.Fatalf("Seen = %d, want 10", tr.Seen())
+	}
+	if tr.Overwritten() != 6 {
+		t.Fatalf("Overwritten = %d, want 6", tr.Overwritten())
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(100, 3)
+	for i := 0; i < 9; i++ {
+		tr.Emit(Event{Class: ClassRead, TS: float64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events with sample=3 over 9 emits, want 3", len(evs))
+	}
+	for i, want := range []float64{0, 3, 6} {
+		if evs[i].TS != want {
+			t.Fatalf("sampled event %d TS = %v, want %v", i, evs[i].TS, want)
+		}
+	}
+	// EmitAlways bypasses sampling.
+	tr.EmitAlways(Event{Class: ClassPhase, TS: 100})
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("EmitAlways not recorded: %d events", got)
+	}
+}
+
+// TestWriteChromeTraceSchema decodes the export and checks the invariants
+// the Chrome trace-event format (and Perfetto) require: a traceEvents
+// array, every complete event ("X") carrying ts and dur, instants carrying
+// a scope, and metadata naming each process.
+func TestWriteChromeTraceSchema(t *testing.T) {
+	tr := NewTracer(16, 1)
+	tr.Emit(Event{Class: ClassRead, TS: 10, Dur: 4, Core: 0, Domain: 1, TreeLing: -1, Level: -1, Node: -1})
+	tr.Emit(Event{Class: ClassVerify, TS: 20, Dur: 30, Core: -1, Domain: 2, TreeLing: 7, Level: 3, Node: 42})
+	tr.EmitAlways(Event{Class: ClassPhase, TS: 25, Core: -1, Domain: 0, TreeLing: -1, Level: -1, Node: -1})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", out.Unit)
+	}
+	var metas, completes, instants int
+	for _, ev := range out.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			metas++
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["name"] == nil {
+				t.Fatalf("metadata event without args.name: %v", ev)
+			}
+		case "X":
+			completes++
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event without dur: %v", ev)
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event without ts: %v", ev)
+			}
+		case "i":
+			instants++
+			if s, _ := ev["s"].(string); s == "" {
+				t.Fatalf("instant event without scope: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %q: %v", ph, ev)
+		}
+	}
+	// Three domains seen (0, 1, 2) → three process_name rows.
+	if metas != 3 {
+		t.Fatalf("process_name metadata rows = %d, want 3", metas)
+	}
+	if completes != 2 || instants != 1 {
+		t.Fatalf("completes=%d instants=%d, want 2/1", completes, instants)
+	}
+
+	// The verify event must carry its metadata coordinates; the read (all
+	// dimensions -1) must carry none.
+	for _, ev := range out.TraceEvents {
+		switch ev["name"] {
+		case ClassVerify:
+			args, _ := ev["args"].(map[string]any)
+			if args["treeling"] != float64(7) || args["level"] != float64(3) || args["node"] != float64(42) {
+				t.Fatalf("verify args = %v", args)
+			}
+			if ev["tid"] != float64(ControllerTID) {
+				t.Fatalf("controller event tid = %v, want %d", ev["tid"], ControllerTID)
+			}
+		case ClassRead:
+			if _, has := ev["args"]; has {
+				t.Fatalf("read event should carry no args: %v", ev)
+			}
+		}
+	}
+}
+
+func TestTracerDefaults(t *testing.T) {
+	tr := NewTracer(0, 0)
+	tr.Emit(Event{Class: ClassRead})
+	if len(tr.Events()) != 1 {
+		t.Fatal("default tracer must record every emit")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"ivleague/internal/crypto"
 	"ivleague/internal/ctr"
 	"ivleague/internal/layout"
+	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
 )
 
 // SlotStore is a sparse map from node key to the node's hash slots. Keys
@@ -115,6 +117,22 @@ type Global struct {
 	lay   *layout.Layout
 	store *SlotStore
 	root  uint64 // on-chip root hash
+
+	// Functional-layer statistics (leaf updates and verifications).
+	Updates  stats.Counter
+	Verifies stats.Counter
+}
+
+// RegisterMetrics registers the tree's functional counters.
+func (g *Global) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".updates", &g.Updates)
+	r.RegisterCounter(prefix+".verifies", &g.Verifies)
+}
+
+// ResetStats clears the functional counters (end-of-warmup boundary).
+func (g *Global) ResetStats() {
+	g.Updates.Reset()
+	g.Verifies.Reset()
 }
 
 // NewGlobal creates the functional global tree for a layout.
@@ -135,6 +153,7 @@ func (g *Global) levelNodeHash(level int, idx uint64) uint64 {
 // Update recomputes the verification path of page pfn after its counter
 // block changed, ending with a new on-chip root.
 func (g *Global) Update(pfn uint64, blk ctr.Block) {
+	g.Updates.Inc()
 	h := CounterBlockHash(pfn, blk)
 	idx := pfn
 	for level := 1; level <= g.lay.GlobalLevels; level++ {
@@ -151,6 +170,7 @@ func (g *Global) Update(pfn uint64, blk ctr.Block) {
 // link matches, i.e. whether the counter block (and hence the data it
 // authenticates) is fresh and untampered.
 func (g *Global) Verify(pfn uint64, blk ctr.Block) error {
+	g.Verifies.Inc()
 	h := CounterBlockHash(pfn, blk)
 	idx := pfn
 	for level := 1; level <= g.lay.GlobalLevels; level++ {
@@ -232,11 +252,27 @@ type Forest struct {
 	lay   *layout.Layout
 	store *SlotStore
 	roots map[int]uint64 // on-chip TreeLing root hashes
+
+	// Functional-layer statistics (leaf updates and verifications).
+	Updates  stats.Counter
+	Verifies stats.Counter
 }
 
 // NewForest creates the functional forest for a layout.
 func NewForest(lay *layout.Layout) *Forest {
 	return &Forest{lay: lay, store: NewSlotStore(lay.Arity), roots: make(map[int]uint64)}
+}
+
+// RegisterMetrics registers the forest's functional counters.
+func (f *Forest) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterCounter(prefix+".updates", &f.Updates)
+	r.RegisterCounter(prefix+".verifies", &f.Verifies)
+}
+
+// ResetStats clears the functional counters (end-of-warmup boundary).
+func (f *Forest) ResetStats() {
+	f.Updates.Reset()
+	f.Verifies.Reset()
 }
 
 // Key encodes a forest node key.
@@ -250,6 +286,7 @@ func (f *Forest) Slot(tl, nodeIdx, slot int) uint64 {
 // SetSlot stores a hash into a TreeLing node slot and recomputes the path
 // from that node to the TreeLing root, refreshing the on-chip root.
 func (f *Forest) SetSlot(tl, nodeIdx, slot int, h uint64) {
+	f.Updates.Inc()
 	f.store.SetSlot(Key(tl, nodeIdx), slot, h)
 	f.rehash(tl, nodeIdx)
 }
@@ -271,6 +308,7 @@ func (f *Forest) rehash(tl, nodeIdx int) {
 // Verify checks the chain from (nodeIdx, slot) holding hash h up to the
 // on-chip TreeLing root.
 func (f *Forest) Verify(tl, nodeIdx, slot int, h uint64) error {
+	f.Verifies.Inc()
 	if got := f.store.Slot(Key(tl, nodeIdx), slot); got != h {
 		return newIntegrityError(ViolationTreeNode, tl, f.lay.LevelOf(nodeIdx), nodeIdx, slot,
 			f.nodeAddr(tl, nodeIdx), "stored slot disagrees with leaf hash")
