@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ivleague/internal/stats"
+)
+
+// WriteVolatileDigest writes a canonical dump of the controller state that
+// WriteStateDigest deliberately excludes but that still steers future
+// behaviour: the Unassigned-TreeLing FIFO in pop order (the next
+// assignment's identity), the raw NFL frontier registers (which block the
+// next allocation scans), the NFLB contents (which NFL reads are elided),
+// and the Pro hotpage machinery (tracker entries, the migration rate
+// limiter, τhot residency order). Two controllers with identical state
+// digests AND identical volatile digests are behaviourally equivalent for
+// every future operation sequence — the property the model checker's state
+// fingerprinting relies on. Pure statistics and replacement ticks stay
+// excluded.
+func (c *Controller) WriteVolatileDigest(w io.Writer) {
+	fmt.Fprintf(w, "vol mode=%d fifo=%v\n", c.mode, c.unassigned[c.fifoHead:])
+	for _, id := range stats.SortedKeys(c.domains) {
+		d := c.domains[id]
+		fmt.Fprintf(w, "vol domain %d bvcur=%d sincemig=%d hotorder=%v\n",
+			id, d.bvCur, d.sinceMig, d.hotOrder)
+		writeSpaceFrontier(w, "nfl", d.space)
+		writeSpaceFrontier(w, "hotnfl", d.hotSpace)
+		for _, e := range d.nflb.entries {
+			if e.valid {
+				fmt.Fprintf(w, " nflb tl=%d block=%d dirty=%t\n", e.tl, e.block, e.dirty)
+			}
+		}
+		if d.hot != nil {
+			fmt.Fprintf(w, " tracker accesses=%d entries=", d.hot.accesses)
+			for _, e := range d.hot.entries {
+				fmt.Fprintf(w, "%d:%d:%t,", e.pfn, e.count, e.valid)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func writeSpaceFrontier(w io.Writer, name string, s *nflSpace) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, " %s head=%d,%d\n", name, s.fRegion, s.fBlock)
+}

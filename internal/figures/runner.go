@@ -139,7 +139,10 @@ func aloneIPCs(o *Options) (map[string]float64, error) {
 	names := benchmarkNames()
 	vals := make([]float64, len(names))
 	err := o.forEach(len(names), func(i int) error {
-		p, _ := workload.ByName(names[i])
+		p, err := workload.ByName(names[i])
+		if err != nil {
+			return err
+		}
 		cfg := o.Cfg
 		ipc, err := sim.RunAlone(&cfg, config.SchemeBaseline, p)
 		if err != nil {

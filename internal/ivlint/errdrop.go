@@ -1,0 +1,142 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids discarding error returns from the repo's own internal
+// packages. Since PR 5 the hot paths report state corruption as errors
+// instead of panicking, which only helps if every caller propagates them:
+// a dropped error turns a detected integrity violation back into silent
+// miscounting. Third-party and stdlib calls are out of scope — dropping
+// fmt.Fprintf's count is idiomatic — so the analyzer keys on the callee's
+// package path.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid discarding error results of ivleague/internal/... calls, " +
+		"as a bare call statement or a blank assignment",
+	PackagePrefixes: []string{"ivleague/internal/"},
+	Run:             runErrDrop,
+}
+
+// internalScope is the callee package-path prefix errdrop polices.
+const internalScope = "ivleague/internal/"
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					p.checkDroppedCall(call, "")
+				}
+			case *ast.DeferStmt:
+				p.checkDroppedCall(n.Call, "deferred ")
+			case *ast.GoStmt:
+				p.checkDroppedCall(n.Call, "spawned ")
+			case *ast.AssignStmt:
+				p.checkBlankedErrors(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports a statement-position call to an internal
+// function whose results include an error: every result is discarded.
+func (p *Pass) checkDroppedCall(call *ast.CallExpr, how string) {
+	fn := internalCallee(p.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if i := errResultIndex(fn); i >= 0 {
+		p.Reportf(call.Pos(), "%scall to %s discards its error result; "+
+			"handle it or assign it to a checked variable", how, calleeLabel(fn))
+	}
+}
+
+// checkBlankedErrors reports blank-identifier assignments of an internal
+// call's error result: v, _ := f() and _ = f().
+func (p *Pass) checkBlankedErrors(a *ast.AssignStmt) {
+	if len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := internalCallee(p.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	i := errResultIndex(fn)
+	if i < 0 || i >= len(a.Lhs) {
+		return
+	}
+	if id, ok := a.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+		p.Reportf(id.Pos(), "error result of %s assigned to _; "+
+			"handle it or name and check it", calleeLabel(fn))
+	}
+}
+
+// internalCallee resolves a call to the *types.Func it invokes, if that
+// function is defined in an ivleague/internal/... package. Conversions,
+// builtins, function-typed variables and out-of-scope callees yield nil.
+func internalCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(fn.Pkg().Path(), internalScope) {
+		return nil
+	}
+	return fn
+}
+
+// errResultIndex returns the index of fn's error result, or -1. Only the
+// last result is considered: the repo's signatures follow the (T, error)
+// convention.
+func errResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	n := res.Len()
+	if n == 0 {
+		return -1
+	}
+	if !types.Identical(res.At(n-1).Type(), errorType) {
+		return -1
+	}
+	return n - 1
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// calleeLabel renders a callee for diagnostics: pkg.Func or pkg.(T).Method.
+func calleeLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	pkg := fn.Pkg().Name()
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			return pkg + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -222,6 +222,8 @@ func TestDeletingSuppressionFails(t *testing.T) {
 		{"determ", unscoped(Determinism), "//ivlint:allow determinism — counting keys is order-independent\n", "range over map"},
 		{"printp", unscoped(Printcall), "//ivlint:allow printcall", "fmt.Println writes to stdout"},
 		{"floatacc", unscoped(FloatAccum), "//ivlint:allow floataccum", "floating-point accumulation"},
+		{"errdropt", unscoped(ErrDrop), "//ivlint:allow errdrop", "call to fakedev.Reset discards"},
+		{"mapitr", unscoped(MapIter), "//ivlint:allow mapiter", "writes output via fmt.Fprintln"},
 	}
 	for _, tc := range cases {
 		srcs := readTestDir(t, tc.dir)
@@ -355,5 +357,57 @@ func TestLoadAndRunStats(t *testing.T) {
 	}
 	if diags := Run(pkgs[0], Analyzers()); len(diags) != 0 {
 		t.Fatalf("stats not clean: %v", diags)
+	}
+}
+
+func TestErrDropGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "errdropt"), []*Analyzer{unscoped(ErrDrop)})
+}
+
+func TestMapIterGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "mapitr"), []*Analyzer{unscoped(MapIter)})
+}
+
+// Re-introducing a dropped internal error must produce a diagnostic — the
+// failure direction that keeps PR-5's panics-to-errors conversion honest.
+func TestErrDropReintroduction(t *testing.T) {
+	srcs := readTestDir(t, "errdropt")
+	edited := map[string]string{}
+	for name, src := range srcs {
+		edited[name] = strings.Replace(src,
+			"func handler(",
+			"func leak(d *fakedev.Dev) {\n\td.Flush()\n}\n\nfunc handler(", 1)
+	}
+	before := Run(loadTestDir(t, "errdropt"), []*Analyzer{unscoped(ErrDrop)})
+	after := Run(loadTestSrc(t, "errdropt", edited), []*Analyzer{unscoped(ErrDrop)})
+	b, a := countFor(before, "Flush discards"), countFor(after, "Flush discards")
+	if a != b+1 {
+		t.Fatalf("re-introduced drop changed diagnostics %d -> %d, want +1", b, a)
+	}
+}
+
+// Removing the sort that sanctions a collect-then-sort loop must surface
+// the append diagnostic: the analyzer keys on the sort's presence, not on
+// the loop alone.
+func TestMapIterSortRemovalFails(t *testing.T) {
+	srcs := readTestDir(t, "mapitr")
+	edited := map[string]string{}
+	replaced := false
+	for name, src := range srcs {
+		if strings.Contains(src, "sort.Strings(keys)") {
+			replaced = true
+		}
+		// Keep a sort call so the import stays used, but detach it from
+		// the collected slice.
+		edited[name] = strings.Replace(src, "sort.Strings(keys)", "sort.Strings(nil)", 1)
+	}
+	if !replaced {
+		t.Fatal("sort.Strings(keys) not found in mapitr testdata")
+	}
+	before := Run(loadTestDir(t, "mapitr"), []*Analyzer{unscoped(MapIter)})
+	after := Run(loadTestSrc(t, "mapitr", edited), []*Analyzer{unscoped(MapIter)})
+	b, a := countFor(before, "appends to keys"), countFor(after, "appends to keys")
+	if b != 0 || a != 1 {
+		t.Fatalf("detaching the sort changed 'appends to keys' diagnostics %d -> %d, want 0 -> 1", b, a)
 	}
 }

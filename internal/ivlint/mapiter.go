@@ -1,0 +1,182 @@
+package ivlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter extends the determinism suite beyond the simulation packages:
+// everywhere in internal/, a range over a map whose body reaches an
+// order-sensitive sink — appending to an outer slice, writing formatted
+// output, or feeding a hash — produces run-to-run varying results. The
+// append-then-sort idiom (collect keys, sort.Slice after the loop) is the
+// sanctioned form and is not flagged; neither are order-independent
+// bodies (counting, max-finding, map-to-map copies).
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid ranging over a map when the body appends to an unsorted " +
+		"slice, writes output or feeds a hash; iteration order varies per run",
+	PackagePrefixes: []string{"ivleague/internal/"},
+	Run:             runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := p.TypesInfo.TypeOf(rs.X); t == nil || !rangesOverMap(t) {
+					return true
+				}
+				if sink := p.mapIterSink(fn, rs); sink != "" {
+					p.Reportf(rs.Pos(), "range over map %s in nondeterministic order; "+
+						"iterate sorted keys (stats.SortedKeys) or sort the result before use", sink)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mapIterSink scans a map-range body for the first order-sensitive sink
+// and describes it, or returns "" for an order-independent body.
+func (p *Pass) mapIterSink(fn *ast.FuncDecl, rs *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			sink = p.unsortedAppend(fn, rs, n)
+		case *ast.CallExpr:
+			sink = p.orderedCallSink(n)
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// unsortedAppend matches `x = append(x, ...)` growing a slice that is
+// never sorted after the range within the same function.
+func (p *Pass) unsortedAppend(fn *ast.FuncDecl, rs *ast.RangeStmt, a *ast.AssignStmt) string {
+	for i, rhs := range a.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p.TypesInfo, call) || i >= len(a.Lhs) {
+			continue
+		}
+		dst, ok := a.Lhs[i].(*ast.Ident)
+		if !ok || dst.Name == "_" {
+			continue
+		}
+		obj := p.TypesInfo.ObjectOf(dst)
+		if obj == nil || p.sortedAfter(fn, rs, obj) {
+			continue
+		}
+		return "appends to " + dst.Name
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement, anywhere in the enclosing function.
+func (p *Pass) sortedAfter(fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(p.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// orderedCallSink matches calls whose effect depends on invocation order:
+// formatted output (fmt print family, Write* methods) and hash feeding
+// (callee name mentioning hash/digest/sum/fingerprint).
+func (p *Pass) orderedCallSink(call *ast.CallExpr) string {
+	fn := calleeFunc(p.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "writes output via fmt." + name
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	isMethod := ok && sig.Recv() != nil
+	if isMethod && strings.HasPrefix(name, "Write") && !nameSuggestsHash(name) {
+		return "writes output via (…)." + name
+	}
+	if nameSuggestsHash(name) {
+		return "feeds a hash via " + name
+	}
+	return ""
+}
+
+// nameSuggestsHash reports whether a callee name implies order-sensitive
+// digest accumulation.
+func nameSuggestsHash(name string) bool {
+	l := strings.ToLower(name)
+	for _, marker := range []string{"hash", "digest", "fingerprint", "checksum"} {
+		if strings.Contains(l, marker) {
+			return true
+		}
+	}
+	// "sum" alone would also match innocuous accumulators like sumCounts;
+	// require the crypto idiom Sum/Sum256/Sum64 exactly.
+	return l == "sum" || strings.HasPrefix(l, "sum") && len(name) > 3 && name[3] >= '0' && name[3] <= '9'
+}
+
+// isBuiltinAppend reports whether the call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortCall reports whether the call is a sorting operation: anything in
+// package sort or slices, or a function whose name mentions sort.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions and function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package errdropt exercises the errdrop analyzer's golden diagnostics.
+package errdropt
+
+import (
+	"fmt"
+
+	"ivleague/internal/fakedev"
+)
+
+// dropper collects the discard forms the analyzer exists to catch.
+func dropper(d *fakedev.Dev, buf []byte) {
+	fakedev.Reset()            // want `call to fakedev.Reset discards its error result`
+	_ = fakedev.Reset()        // want `error result of fakedev.Reset assigned to _`
+	n, _ := fakedev.Write(buf) // want `error result of fakedev.Write assigned to _`
+	_ = n
+	d.Flush()          // want `call to fakedev.\(Dev\).Flush discards its error result`
+	defer d.Flush()    // want `deferred call to fakedev.\(Dev\).Flush discards its error result`
+	go fakedev.Reset() // want `spawned call to fakedev.Reset discards its error result`
+}
+
+// handler is the sanctioned form: every error reaches a check.
+func handler(d *fakedev.Dev, buf []byte) error {
+	if err := fakedev.Reset(); err != nil {
+		return err
+	}
+	n, err := fakedev.Write(buf)
+	if err != nil {
+		return err
+	}
+	_ = n // blanking a non-error result is fine
+	return d.Flush()
+}
+
+// outOfScope drops results of callees the analyzer does not police:
+// stdlib functions, builtins, error-free internal calls and local
+// function values.
+func outOfScope(w interface{}, buf []byte) {
+	fmt.Fprintf(w, "%d", len(buf)) // stdlib: dropped (int, error) is idiomatic
+	fakedev.Count()                // no error result
+	_, _ = fakedev.Pair()          // no error result
+	f := func() error { return nil }
+	f() // function-typed local, not a declared internal function
+}
+
+// suppressed carries the deliberate-drop form with the reason on record.
+func suppressed() {
+	//ivlint:allow errdrop — best-effort reset during shutdown; failure changes nothing
+	fakedev.Reset()
+}

@@ -1,0 +1,22 @@
+// Package fakedev is a stub internal package for hermetic errdrop tests:
+// the analyzer keys on the ivleague/internal/ import-path prefix of the
+// callee, so these signatures are what matters.
+package fakedev
+
+// Dev carries the methods the tests call.
+type Dev struct{}
+
+// Reset returns only an error.
+func Reset() error { return nil }
+
+// Write follows the (T, error) convention.
+func Write(b []byte) (int, error) { return len(b), nil }
+
+// Count is error-free; dropping its result is fine.
+func Count() int { return 0 }
+
+// Flush is a method returning an error.
+func (d *Dev) Flush() error { return nil }
+
+// Pair returns two non-error results; blanking either is fine.
+func Pair() (int, int) { return 0, 0 }

@@ -1,0 +1,82 @@
+// Package mapitr exercises the mapiter analyzer's golden diagnostics.
+package mapitr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sink is a Write*-method receiver standing in for strings.Builder.
+type sink struct{}
+
+func (s *sink) WriteString(v string) (int, error) { return len(v), nil }
+
+// mixDigest stands in for hash-state accumulation; the analyzer keys on
+// the callee name.
+func mixDigest(x int) {}
+
+// unsortedKeys is the core bug: the caller sees a per-run order.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// printValues writes formatted output straight from the iteration.
+func printValues(w interface{}, m map[string]int) {
+	for k, v := range m { // want `range over map writes output via fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// buildReport feeds a Write* method from the iteration.
+func buildReport(b *sink, m map[string]int) {
+	for k := range m { // want `range over map writes output via \(…\).WriteString`
+		b.WriteString(k)
+	}
+}
+
+// hashEntries feeds digest state in iteration order.
+func hashEntries(m map[string]int) {
+	for _, v := range m { // want `range over map feeds a hash via mixDigest`
+		mixDigest(v)
+	}
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: not flagged.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// orderIndependent bodies are fine: counting, max-finding, map-to-map.
+func orderIndependent(m map[string]int) (int, map[string]int) {
+	total := 0
+	dst := make(map[string]int, len(m))
+	for k, v := range m {
+		total += v
+		dst[k] = v
+	}
+	return total, dst
+}
+
+// overSlice ranges a slice, not a map: never flagged.
+func overSlice(s []string, w interface{}) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}
+
+// suppressed carries the deliberate form with the reason on record.
+func suppressed(w interface{}, m map[string]int) {
+	//ivlint:allow mapiter — debugging helper behind a build tag; output is never byte-compared
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

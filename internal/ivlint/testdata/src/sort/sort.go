@@ -1,0 +1,10 @@
+// Package sort is a stub of the standard library package for hermetic
+// analyzer tests: the mapiter analyzer matches by import path, so only
+// the names matter here.
+package sort
+
+// Strings stubs the string-slice sorter.
+func Strings(a []string) {}
+
+// Slice stubs the general sorter.
+func Slice(x interface{}, less func(i, j int) bool) {}

@@ -9,13 +9,28 @@ package osmodel
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"ivleague/internal/pagetable"
 	"ivleague/internal/stats"
 )
 
-// ErrOutOfMemory is returned when no physical frame is available.
-var ErrOutOfMemory = errors.New("osmodel: out of physical memory")
+// Typed sentinel errors. Callers — in particular the model checker, which
+// must distinguish "expected rejection" transitions (out of memory, benign
+// re-unmap) from genuine accounting corruption — match them with errors.Is.
+var (
+	// ErrOutOfMemory is returned when no physical frame is available.
+	ErrOutOfMemory = errors.New("osmodel: out of physical memory")
+	// ErrOutOfRange is returned when a freed frame lies outside the
+	// allocator's [lo, hi) range.
+	ErrOutOfRange = errors.New("osmodel: frame outside allocator range")
+	// ErrNeverAllocated is returned when a freed frame was never handed out.
+	ErrNeverAllocated = errors.New("osmodel: frame never allocated")
+	// ErrDoubleFree is returned when a frame is freed twice.
+	ErrDoubleFree = errors.New("osmodel: double free")
+	// ErrNotMapped is returned by Process.Unmap for a VPN with no mapping.
+	ErrNotMapped = errors.New("osmodel: page not mapped")
+)
 
 // FrameAllocator hands out physical page frames in [lo, hi). Freed frames
 // are recycled LIFO, which creates the address-reuse patterns that
@@ -62,13 +77,13 @@ func (f *FrameAllocator) Alloc() (uint64, error) {
 // Free returns a frame to the allocator.
 func (f *FrameAllocator) Free(pfn uint64) error {
 	if pfn < f.lo || pfn >= f.hi {
-		return fmt.Errorf("osmodel: freeing frame %d outside [%d,%d)", pfn, f.lo, f.hi)
+		return fmt.Errorf("%w: freeing frame %d outside [%d,%d)", ErrOutOfRange, pfn, f.lo, f.hi)
 	}
 	if pfn >= f.next {
-		return fmt.Errorf("osmodel: freeing never-allocated frame %d", pfn)
+		return fmt.Errorf("%w: frame %d", ErrNeverAllocated, pfn)
 	}
 	if f.freeSet[pfn] {
-		return fmt.Errorf("osmodel: double free of frame %d", pfn)
+		return fmt.Errorf("%w: frame %d", ErrDoubleFree, pfn)
 	}
 	f.free = append(f.free, pfn)
 	f.freeSet[pfn] = true
@@ -79,6 +94,15 @@ func (f *FrameAllocator) Free(pfn uint64) error {
 
 // InUse returns the number of frames currently allocated.
 func (f *FrameAllocator) InUse() uint64 { return f.inUse }
+
+// WriteState dumps the allocator's behavioural state — range, bump
+// pointer and the free list in LIFO pop order — in a canonical text form.
+// The model checker folds it into its state fingerprint: two allocators
+// with equal dumps hand out identical frame sequences from here on.
+func (f *FrameAllocator) WriteState(w io.Writer) {
+	fmt.Fprintf(w, "frames lo=%d hi=%d next=%d inuse=%d free=%v\n",
+		f.lo, f.hi, f.next, f.inUse, f.free)
+}
 
 // Capacity returns the total number of frames managed.
 func (f *FrameAllocator) Capacity() uint64 { return f.hi - f.lo }
@@ -132,13 +156,14 @@ func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
 	return pfn, true, nil
 }
 
-// Unmap releases vpn if mapped, reporting whether it was. The error path
-// covers frame-accounting corruption (freeing a frame outside the
-// allocator's range), which must fail the run instead of crashing it.
+// Unmap releases vpn if mapped, reporting whether it was. An unmapped VPN
+// returns ErrNotMapped (benign — callers filter it with errors.Is); any
+// other error covers frame-accounting corruption (freeing a frame outside
+// the allocator's range), which must fail the run instead of crashing it.
 func (p *Process) Unmap(vpn uint64) (bool, error) {
 	pte := p.Table.Lookup(vpn)
 	if pte == nil {
-		return false, nil
+		return false, fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
 	}
 	pfn := pte.PFN
 	if p.OnPageUnmap != nil {

@@ -44,15 +44,18 @@ func TestFrameExhaustion(t *testing.T) {
 
 func TestFreeOutOfRangeErrors(t *testing.T) {
 	f := NewFrameAllocator(0, 3)
-	if err := f.Free(5); err == nil {
-		t.Fatal("out-of-range free did not return an error")
+	if err := f.Free(5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range free: got %v, want ErrOutOfRange", err)
 	}
 	a, _ := f.Alloc()
 	if err := f.Free(a); err != nil {
 		t.Fatalf("valid free errored: %v", err)
 	}
-	if err := f.Free(a); err == nil {
-		t.Fatal("double free did not return an error")
+	if err := f.Free(a); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: got %v, want ErrDoubleFree", err)
+	}
+	if err := f.Free(2); !errors.Is(err, ErrNeverAllocated) {
+		t.Fatalf("never-allocated free: got %v, want ErrNeverAllocated", err)
 	}
 }
 
@@ -85,8 +88,8 @@ func TestProcessTouchAndUnmap(t *testing.T) {
 	if unmapped != 1 || p.Mapped() != 0 || frames.InUse() != 0 {
 		t.Fatal("unmap bookkeeping wrong")
 	}
-	if ok, err := p.Unmap(42); ok || err != nil {
-		t.Fatalf("double unmap: ok=%v err=%v", ok, err)
+	if ok, err := p.Unmap(42); ok || !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap: ok=%v err=%v, want ErrNotMapped", ok, err)
 	}
 }
 

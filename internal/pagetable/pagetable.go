@@ -121,6 +121,30 @@ func (t *Table) Unmap(vpn uint64) (PTE, bool) {
 	return old, true
 }
 
+// VPNs returns every mapped VPN in ascending order — the canonical
+// enumeration the model checker folds into its state fingerprint.
+func (t *Table) VPNs() []uint64 {
+	out := make([]uint64, 0, t.mapped)
+	var walk func(n *ptNode, prefix uint64, level int)
+	walk = func(n *ptNode, prefix uint64, level int) {
+		if n.ptes != nil {
+			for i := range n.ptes {
+				if n.ptes[i].Present {
+					out = append(out, prefix|uint64(i))
+				}
+			}
+			return
+		}
+		for i, child := range n.children {
+			if child != nil {
+				walk(child, prefix|uint64(i)<<t.shifts[level], level+1)
+			}
+		}
+	}
+	walk(t.root, 0, 0)
+	return out
+}
+
 // Lookup returns a pointer to the PTE for vpn, or nil if unmapped. The
 // pointer stays valid until Unmap; callers may update LeafID through it.
 func (t *Table) Lookup(vpn uint64) *PTE {

@@ -34,6 +34,10 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		c.ops.Reset()
 		slot, err := c.ivc.AllocPage(domain, pfn, &c.ops)
 		if err != nil {
+			// A rejected map (TreeLing starvation) must leave no residue,
+			// or a phantom page with no slot would linger in the metadata.
+			delete(c.pageVPN, pfn)
+			delete(c.pageDom, pfn)
 			return 0, err
 		}
 		c.pageSlots[pfn] = slot
@@ -89,6 +93,14 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, 
 	delete(c.pageVPN, pfn)
 	delete(c.pageDom, pfn)
 	c.counters.Drop(pfn)
+	if c.datamem != nil {
+		// The counters died with the mapping, so any retained ciphertext
+		// is undecryptable garbage: a re-mapped frame must read as
+		// never-written memory, not fail the MAC check on stale blocks.
+		for b := uint64(0); b < config.BlocksPerPage; b++ {
+			delete(c.datamem, pfn<<config.PageShift|b<<config.BlockShift)
+		}
+	}
 	if c.ivc != nil {
 		c.ops.Reset()
 		slot := c.pageSlots[pfn]

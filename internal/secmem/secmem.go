@@ -294,10 +294,19 @@ func (c *Controller) CreateDomain(id int) error {
 func (c *Controller) DestroyDomain(id int) error {
 	switch {
 	case c.ivc != nil:
+		tls := c.ivc.TreeLingsOf(id)
 		c.ops.Reset()
 		err := c.ivc.DestroyDomain(id, &c.ops)
 		if _, rerr := c.replayOps(0, id); rerr != nil && err == nil {
 			err = rerr
+		}
+		if err == nil && c.audit != nil {
+			// The domain's TreeLings were hardware-reset and returned to
+			// the FIFO; start a fresh audit epoch for each so legitimate
+			// reuse by a later domain is not reported as sharing.
+			for _, tl := range tls {
+				c.audit.Recycle(tl)
+			}
 		}
 		return err
 	case c.scheme == config.SchemeStaticPartition:

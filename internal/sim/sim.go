@@ -231,7 +231,9 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 			gen.OnFreeRange = func(vpnStart uint64, n int) {
 				for v := vpnStart; v < vpnStart+uint64(n); v++ {
 					ok, err := t.proc.Unmap(v)
-					if err != nil && m.pendingErr == nil {
+					// Generators may free never-touched pages; only real
+					// accounting corruption fails the run.
+					if err != nil && !errors.Is(err, osmodel.ErrNotMapped) && m.pendingErr == nil {
 						m.pendingErr = err
 					}
 					if ok {

@@ -35,9 +35,22 @@ const LevelNFL = -1
 // and PTE blocks are statically addressed per-frame/per-domain, and cache
 // eviction writebacks of other domains' victims are hardware artifacts,
 // not metadata *uses* by the accessing domain.
+// Touches are keyed by (NodeKey, epoch): Recycle bumps a TreeLing's epoch
+// when its hardware state is re-initialized on domain teardown, so the
+// legitimate reuse of a recycled TreeLing by a new owner is not counted as
+// sharing — the physical node is shared across *time*, but its contents
+// were reset, which is exactly the hardware re-initialization the paper
+// relies on to prevent cross-domain replay. Touches in different epochs of
+// the same node never alias.
 type Audit struct {
-	nodes map[NodeKey]*nodeTouches
-	total uint64
+	nodes  map[epochKey]*nodeTouches
+	epochs map[int]int // TreeLing → current epoch (missing = 0)
+	total  uint64
+}
+
+type epochKey struct {
+	key   NodeKey
+	epoch int
 }
 
 type nodeTouches struct {
@@ -47,18 +60,38 @@ type nodeTouches struct {
 
 // NewAudit creates an empty audit.
 func NewAudit() *Audit {
-	return &Audit{nodes: make(map[NodeKey]*nodeTouches)}
+	return &Audit{nodes: make(map[epochKey]*nodeTouches), epochs: make(map[int]int)}
 }
 
 // Touch records that domain used the metadata node identified by key.
 func (a *Audit) Touch(domain int, key NodeKey) {
 	a.total++
-	nt := a.nodes[key]
+	ek := epochKey{key: key, epoch: a.Epoch(key.TreeLing)}
+	nt := a.nodes[ek]
 	if nt == nil {
 		nt = &nodeTouches{first: domain, byDomain: make(map[int]uint64, 1)}
-		a.nodes[key] = nt
+		a.nodes[ek] = nt
 	}
 	nt.byDomain[domain]++
+}
+
+// Recycle marks a TreeLing's hardware state as re-initialized (domain
+// teardown returned it to the unassigned FIFO). Subsequent touches of its
+// nodes start a fresh epoch and do not alias pre-recycle touches. The
+// global tree (GlobalTreeLing) is never recycled.
+func (a *Audit) Recycle(treeling int) {
+	if treeling == GlobalTreeLing {
+		return
+	}
+	a.epochs[treeling]++
+}
+
+// Epoch returns a TreeLing's current recycle epoch.
+func (a *Audit) Epoch(treeling int) int {
+	if treeling == GlobalTreeLing {
+		return 0
+	}
+	return a.epochs[treeling]
 }
 
 // Report summarizes an audit.
@@ -119,24 +152,29 @@ func (r Report) String() string {
 // a coverage check that every metadata class reaches the audit.
 func (a *Audit) Levels() map[int]uint64 {
 	out := make(map[int]uint64)
-	for key, nt := range a.nodes {
+	for ek, nt := range a.nodes {
 		for _, n := range nt.byDomain {
-			out[key.Level] += n
+			out[ek.key.Level] += n
 		}
 	}
 	return out
 }
 
-// SharedKeys returns the keys of nodes touched by more than one domain, in
-// (TreeLing, Level, Node) order — the diagnostic trail when an IvLeague
-// scheme unexpectedly shares.
+// SharedKeys returns the keys of nodes touched by more than one domain
+// within one recycle epoch, in (TreeLing, Level, Node) order — the
+// diagnostic trail when an IvLeague scheme unexpectedly shares.
 func (a *Audit) SharedKeys() []NodeKey {
 	var keys []NodeKey
-	for key, nt := range a.nodes {
+	for ek, nt := range a.nodes {
 		if len(nt.byDomain) > 1 {
-			keys = append(keys, key)
+			keys = append(keys, ek.key)
 		}
 	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []NodeKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
 		if a.TreeLing != b.TreeLing {
@@ -147,5 +185,41 @@ func (a *Audit) SharedKeys() []NodeKey {
 		}
 		return a.Node < b.Node
 	})
-	return keys
+}
+
+// TouchRecord is one (node, epoch, domain) touch count in an Export dump.
+type TouchRecord struct {
+	Key    NodeKey
+	Epoch  int
+	Domain int
+	Count  uint64
+}
+
+// Export returns every recorded touch in canonical (TreeLing, Level, Node,
+// Epoch, Domain) order, the model checker's raw view for per-state
+// ownership cross-checks.
+func (a *Audit) Export() []TouchRecord {
+	var recs []TouchRecord
+	for ek, nt := range a.nodes {
+		for d, n := range nt.byDomain {
+			recs = append(recs, TouchRecord{Key: ek.key, Epoch: ek.epoch, Domain: d, Count: n})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Key != b.Key {
+			if a.Key.TreeLing != b.Key.TreeLing {
+				return a.Key.TreeLing < b.Key.TreeLing
+			}
+			if a.Key.Level != b.Key.Level {
+				return a.Key.Level < b.Key.Level
+			}
+			return a.Key.Node < b.Key.Node
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		return a.Domain < b.Domain
+	})
+	return recs
 }

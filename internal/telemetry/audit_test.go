@@ -57,6 +57,64 @@ func TestAuditDetectsSharing(t *testing.T) {
 	}
 }
 
+func TestAuditRecycleSeparatesEpochs(t *testing.T) {
+	a := NewAudit()
+	k := NodeKey{TreeLing: 4, Level: 1, Node: 0}
+	a.Touch(1, k)
+	a.Recycle(4) // TreeLing 4 reset and returned to the FIFO
+	a.Touch(2, k)
+	if r := a.Report(); !r.Isolated() {
+		t.Fatalf("post-recycle reuse reported as sharing: %+v", r)
+	}
+	if a.Epoch(4) != 1 {
+		t.Fatalf("Epoch(4) = %d, want 1", a.Epoch(4))
+	}
+	// Within one epoch the same touches ARE sharing.
+	a.Touch(1, k)
+	if r := a.Report(); r.Isolated() {
+		t.Fatal("same-epoch cross-domain touch reported as isolated")
+	}
+}
+
+func TestAuditRecycleIgnoresGlobalTree(t *testing.T) {
+	a := NewAudit()
+	k := NodeKey{TreeLing: GlobalTreeLing, Level: 1, Node: 7}
+	a.Touch(1, k)
+	a.Recycle(GlobalTreeLing) // must be a no-op
+	a.Touch(2, k)
+	if r := a.Report(); r.Isolated() {
+		t.Fatal("global-tree sharing hidden by Recycle")
+	}
+	if a.Epoch(GlobalTreeLing) != 0 {
+		t.Fatal("global tree gained an epoch")
+	}
+}
+
+func TestAuditExportCanonical(t *testing.T) {
+	a := NewAudit()
+	k0 := NodeKey{TreeLing: 0, Level: 1, Node: 1}
+	k1 := NodeKey{TreeLing: 1, Level: 1, Node: 0}
+	a.Touch(2, k1)
+	a.Touch(1, k0)
+	a.Touch(1, k0)
+	a.Recycle(0)
+	a.Touch(3, k0)
+	got := a.Export()
+	want := []TouchRecord{
+		{Key: k0, Epoch: 0, Domain: 1, Count: 2},
+		{Key: k0, Epoch: 1, Domain: 3, Count: 1},
+		{Key: k1, Epoch: 0, Domain: 2, Count: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Export len = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Export[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSharedKeysSorted(t *testing.T) {
 	a := NewAudit()
 	ks := []NodeKey{
