@@ -5,20 +5,41 @@
 // Independent runs fan out across -j workers; tables are byte-identical
 // for every -j value. Any failed experiment is reported on stderr and the
 // process exits non-zero.
+//
+// With -cache-dir the harness becomes a crash-safe resumable sweep: every
+// simulation cell is fingerprinted and persisted to a content-addressed
+// cache the moment it completes, so a killed sweep rerun against the same
+// directory (-resume) re-simulates only the missing cells and emits
+// byte-identical tables. SIGINT/SIGTERM drains in-flight cells,
+// checkpoints the journal and exits with a resume hint; -cell-timeout and
+// -max-cell-failures bound and contain per-cell faults (persistently
+// failing cells render as "deg" instead of aborting the sweep).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
+	"ivleague/internal/atomicio"
 	"ivleague/internal/figures"
 	"ivleague/internal/stats"
+	"ivleague/internal/sweep"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
 )
+
+// exitInterrupted is the exit status of a sweep drained by SIGINT/SIGTERM
+// (distinct from 1 = experiment failure and 2 = usage error).
+const exitInterrupted = 3
 
 func main() {
 	full := flag.Bool("full", false, "run the long (paper-scale) configuration")
@@ -29,30 +50,44 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "with -trace, record every Nth event")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole harness to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	cacheDir := flag.String("cache-dir", "", "persist every simulation cell to this content-addressed cache and skip cells already present (crash-safe resumable sweeps)")
+	resume := flag.Bool("resume", false, "with -cache-dir, resume a previous (possibly killed) sweep: requires an existing journal and reports prior progress")
+	cellTimeout := flag.Duration("cell-timeout", 0, "with -cache-dir, bound one cell's simulation (0 = unbounded); timed-out cells degrade instead of hanging the sweep")
+	maxCellFailures := flag.Int("max-cell-failures", 4, "with -cache-dir, tolerate this many persistently failing cells (rendered as \"deg\") before aborting; negative = unlimited")
 	flag.Parse()
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := atomicio.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ivbench:", err)
 			os.Exit(2)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			fmt.Fprintln(os.Stderr, "ivbench:", err)
 			os.Exit(2)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "ivbench:", err)
+			}
+		}()
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			f, err := atomicio.Create(*memProfile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ivbench:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Abort()
+				fmt.Fprintln(os.Stderr, "ivbench:", err)
+				return
+			}
+			if err := f.Commit(); err != nil {
 				fmt.Fprintln(os.Stderr, "ivbench:", err)
 			}
 		}()
@@ -87,6 +122,47 @@ func main() {
 		opts.Mixes = mixes
 	}
 
+	// The sweep engine: content-addressed result cache + journal + fault
+	// containment, interruptible by SIGINT/SIGTERM.
+	var engine *sweep.Engine
+	var metrics *sweep.Metrics
+	ctx := context.Background()
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "ivbench: -resume requires -cache-dir")
+		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		if *resume {
+			sum, err := sweep.ReadJournal(filepath.Join(*cacheDir, sweep.JournalName))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ivbench: -resume: no resumable sweep at %s: %v\n", *cacheDir, err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "ivbench: resuming sweep %d at %s: %d cells done, %d prior hits, %d failed, %d interrupted\n",
+				sum.Sweeps+1, *cacheDir, sum.Done, sum.Hits, sum.Failed, sum.Interrupted)
+		}
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		metrics = &sweep.Metrics{}
+		reg := telemetry.NewRegistry()
+		metrics.Register(reg)
+		var err error
+		engine, err = sweep.NewEngine(sweep.EngineConfig{
+			Dir:             *cacheDir,
+			CellTimeout:     *cellTimeout,
+			MaxCellFailures: *maxCellFailures,
+			Ctx:             ctx,
+			Metrics:         metrics,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
+		defer engine.Close()
+		opts.Sweep = engine
+	}
+
 	known := []string{"table3", "fig21", "fig22", "fig3", "fig15", "fig16",
 		"fig17a", "fig17b", "fig18", "fig19", "fig20a", "fig20b"}
 	want := map[string]bool{}
@@ -107,6 +183,18 @@ func main() {
 	sel := func(id string) bool { return all || want[id] }
 
 	fail := func(err error) {
+		// An interrupted sweep is not a failure: the in-flight cells have
+		// drained, every completed cell is on disk, and the journal is
+		// checkpointed — say how to pick the sweep back up.
+		if engine != nil && engine.Interrupted() {
+			if cerr := engine.Checkpoint(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ivbench: journal checkpoint:", cerr)
+			}
+			fmt.Fprintln(os.Stderr, "ivbench: interrupted;", metrics.Summary())
+			fmt.Fprintf(os.Stderr, "ivbench: completed cells are cached; resume with: ivbench -cache-dir %s -resume %s\n",
+				*cacheDir, strings.Join(flag.Args(), " "))
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "ivbench:", err)
 		os.Exit(1)
 	}
@@ -118,6 +206,8 @@ func main() {
 		fmt.Println(t)
 	}
 
+	start := time.Now()
+
 	// Simulation-independent experiments first (fast).
 	if sel("table3") {
 		show("Table III: hardware cost", figures.Table3(&opts.Cfg), nil)
@@ -126,7 +216,8 @@ func main() {
 		show("Figure 21: required TreeLings vs size and skewness (D=4096)", figures.Fig21(), nil)
 	}
 	if sel("fig22") {
-		show("Figure 22: scheduling success rate, static partitioning vs IvLeague", figures.Fig22(opts), nil)
+		t, err := figures.Fig22(opts)
+		show("Figure 22: scheduling success rate, static partitioning vs IvLeague", t, err)
 	}
 	if sel("fig3") {
 		t, err := figures.Fig3(opts)
@@ -168,5 +259,9 @@ func main() {
 	if sel("fig20b") {
 		t, err := figures.Fig20b(opts)
 		show("Figure 20b: tree metadata cache size sensitivity", t, err)
+	}
+
+	if engine != nil {
+		fmt.Fprintf(os.Stderr, "ivbench: %s in %s\n", metrics.Summary(), time.Since(start).Round(time.Millisecond))
 	}
 }

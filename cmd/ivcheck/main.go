@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"ivleague/internal/atomicio"
 	"ivleague/internal/config"
 	"ivleague/internal/modelcheck"
 )
@@ -96,7 +97,7 @@ func reportViolation(opts modelcheck.Options, v *modelcheck.Violation, outFile s
 	}
 	script := modelcheck.FormatScript(opts, min)
 	if outFile != "" {
-		if err := os.WriteFile(outFile, []byte(script), 0o644); err != nil {
+		if err := atomicio.WriteFile(outFile, []byte(script), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "ivcheck:", err)
 			return 2
 		}

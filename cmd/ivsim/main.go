@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ivleague/internal/atomicio"
 	"ivleague/internal/config"
 	"ivleague/internal/faults"
 	"ivleague/internal/sim"
@@ -110,23 +111,30 @@ func main() {
 			os.Exit(2)
 		}
 	case *traceOut != "":
-		f, err := os.Create(*traceOut)
+		// Atomic write: the trace file appears only once fully recorded,
+		// so an interrupted run never leaves a truncated trace behind.
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		m, err := sim.NewMachine(&cfg, scheme, mix, 0, opts...)
 		if err != nil {
+			f.Abort()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		w := m.RecordTrace(f)
 		res = m.Run()
 		if err := w.Flush(); err != nil {
+			f.Abort()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		f.Close()
+		if err := f.Commit(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		fmt.Printf("trace: %d records -> %s\n", w.Count(), *traceOut)
 	default:
 		res = sim.RunMix(&cfg, scheme, mix, opts...)
@@ -170,17 +178,17 @@ func main() {
 		fmt.Printf("partition swaps:      %d\n", res.Swaps)
 	}
 	if tracer != nil {
-		f, err := os.Create(*chromeTrace)
+		f, err := atomicio.Create(*chromeTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		if err := tracer.WriteChromeTrace(f); err != nil {
-			f.Close()
+			f.Abort()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -1,0 +1,131 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// listDir returns the names in dir (for leftover-temp checks).
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	want := []byte("hello, crash safety\n")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file left behind: %v", names)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAbortLeavesDestinationUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("discard")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	f.Abort() // idempotent
+	got, _ := os.ReadFile(path)
+	if string(got) != "keep" {
+		t.Fatalf("abort clobbered destination: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file left behind after abort: %v", names)
+	}
+}
+
+func TestCommitTwiceErrors(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("second Commit succeeded")
+	}
+}
+
+// TestConcurrentWritersSameTarget checks that racing writers never
+// corrupt the destination: the final contents are exactly one writer's
+// full payload.
+func TestConcurrentWritersSameTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := strings.Repeat(string(rune('a'+i)), 4096)
+			if err := WriteFile(path, []byte(payload), 0o644); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("mixed-writer corruption: %d bytes", len(got))
+	}
+	for _, b := range got {
+		if b != got[0] {
+			t.Fatalf("interleaved payloads in destination")
+		}
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}

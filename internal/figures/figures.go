@@ -5,6 +5,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,6 +17,7 @@ import (
 	"ivleague/internal/rng"
 	"ivleague/internal/sim"
 	"ivleague/internal/stats"
+	"ivleague/internal/sweep"
 	"ivleague/internal/workload"
 )
 
@@ -48,6 +50,16 @@ type Options struct {
 	TraceDir string
 	// TraceSample records every Nth traced event (<= 0: every event).
 	TraceSample int
+	// Sweep, when non-nil, routes every simulation cell through the
+	// crash-safe resumable sweep engine: results are answered from its
+	// content-addressed cache when fingerprints match, persisted to disk
+	// the moment they complete, and per-cell failures are contained
+	// within the engine's failure budget (rendered as "deg" table
+	// entries). Nil — the default — keeps the exact uncached path, and
+	// cells with armed injection or trace export always bypass the cache
+	// (see cellBypass). Cached and uncached sweeps emit byte-identical
+	// tables.
+	Sweep *sweep.Engine
 }
 
 // PerfSchemes are the four schemes of Figures 15/16/18/19.
@@ -172,8 +184,9 @@ func (rs *RunSet) Fig15() (*stats.Table, error) {
 			if base > 0 {
 				norm = w / base
 			}
-			if res.Tampered {
-				// The scheme detected an injected fault and halted: a
+			if res.Tampered || res.Degraded {
+				// The scheme detected an injected fault and halted, or the
+				// sweep engine contained a persistently failing cell: a
 				// degraded, not failed, measurement.
 				cells = append(cells, "deg")
 			} else {
@@ -357,7 +370,7 @@ func (rs *RunSet) Fig18() *stats.Table {
 		cells := []string{mix.Name}
 		for _, s := range ivs {
 			res := rs.Results[mix.Name][s]
-			if res.Tampered {
+			if res.Tampered || res.Degraded {
 				cells = append(cells, "deg")
 				continue
 			}
@@ -383,7 +396,7 @@ func (rs *RunSet) Fig19() *stats.Table {
 		cells := []string{mix.Name}
 		for _, s := range ivs {
 			r := rs.Results[mix.Name][s]
-			if r.Tampered {
+			if r.Tampered || r.Degraded {
 				cells = append(cells, "deg")
 				continue
 			}
@@ -417,7 +430,7 @@ func Fig20a(o Options) (*stats.Table, error) {
 		mb := (uint64(1) << uint(3*h)) * config.PageBytes >> 20
 		return fmt.Sprintf("%dMB(h=%d)", mb, h)
 	}
-	return sweep(&o, "fig20a", "treeling", heights, deriveCfg, label, 4)
+	return sensitivity(&o, "fig20a", "treeling", heights, deriveCfg, label, 4)
 }
 
 // Fig20b sweeps the integrity-tree metadata cache size.
@@ -428,14 +441,14 @@ func Fig20b(o Options) (*stats.Table, error) {
 		return cfg
 	}
 	label := func(size int) string { return fmt.Sprintf("%dKB", size>>10) }
-	return sweep(&o, "fig20b", "tree-cache", sizes, deriveCfg, label, 256<<10)
+	return sensitivity(&o, "fig20b", "tree-cache", sizes, deriveCfg, label, 256<<10)
 }
 
-// sweep runs the Figure 20 sensitivity pattern: for every point of a
+// sensitivity runs the Figure 20 pattern: for every point of a
 // one-dimensional parameter sweep, simulate the representative mixes under
 // the three IvLeague schemes (every run fanned out in parallel) and report
 // per-point gmean IPC normalized to IvLeague-Basic at refPoint.
-func sweep(o *Options, tag, axis string, points []int, deriveCfg func(int, config.Config) config.Config, label func(int) string, refPoint int) (*stats.Table, error) {
+func sensitivity(o *Options, tag, axis string, points []int, deriveCfg func(int, config.Config) config.Config, label func(int) string, refPoint int) (*stats.Table, error) {
 	o.lockProgress()
 	schemes := []config.Scheme{config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro}
 	t := &stats.Table{Header: []string{axis, "Basic", "Invert", "Pro"}}
@@ -457,7 +470,7 @@ func sweep(o *Options, tag, axis string, points []int, deriveCfg func(int, confi
 	err := o.forEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		cfg := deriveCfg(points[j.pi], o.Cfg)
-		res, err := sim.RunMixErr(&cfg, schemes[j.si], mixes[j.mi])
+		res, err := o.mixCell(tag, &cfg, mixSchemeJob{mix: mixes[j.mi], scheme: schemes[j.si]})
 		if err != nil {
 			return fmt.Errorf("figures: %s: %w", tag, err)
 		}
@@ -538,13 +551,21 @@ func Fig21() *stats.Table {
 	return t
 }
 
+// fig22Rates is the cached payload of one Figure-22 Monte-Carlo point.
+type fig22Rates struct {
+	Static   float64
+	IvLeague float64
+}
+
 // Fig22 renders the static-vs-IvLeague success-rate sweep. The grid's
 // Monte-Carlo points fan out in parallel; each point's trials draw from a
 // stream seeded by rng.ForkLabel on the point's own parameters, so every
 // point is independent of scheduling (and of every other point — the
 // previous shared-seed derivation correlated same-(D, M) points across
-// utilization levels).
-func Fig22(o Options) *stats.Table {
+// utilization levels). With a sweep engine attached each point is one
+// cached cell keyed by (point, trials, config), so a resumed grid only
+// recomputes missing points.
+func Fig22(o Options) (*stats.Table, error) {
 	o.lockProgress()
 	t := &stats.Table{Header: []string{"util", "domains", "memGB", "static", "ivleague"}}
 	// The sorted order of the old serial sweep is exactly this grid order.
@@ -556,31 +577,54 @@ func Fig22(o Options) *stats.Table {
 			}
 		}
 	}
-	// The per-point model cannot fail, so forEach only transports the
-	// results; ignore its always-nil error rather than widen the API.
-	//ivlint:allow errdrop — the closure below never returns non-nil, and Fig22's signature has no error to widen into
-	_ = o.forEach(len(pts), func(i int) error {
+	degraded := make([]bool, len(pts))
+	err := o.forEach(len(pts), func(i int) error {
 		p := &pts[i]
-		seed := rng.ForkLabel(o.Cfg.Sim.Seed,
-			fmt.Sprintf("fig22/u=%.2f/d=%d/g=%d", p.Utilization, p.Domains, p.MemoryGB))
-		p.Static, p.IvLeague = analysis.SuccessRates(analysis.ScalabilityConfig{
-			TreeLings:     4096,
-			TreeLingBytes: o.Cfg.TreeLingBytes(),
-			Utilization:   p.Utilization,
-			Domains:       p.Domains,
-			MemoryBytes:   uint64(p.MemoryGB) << 30,
-			Trials:        o.Trials,
-			Seed:          seed,
+		pointLabel := fmt.Sprintf("fig22/u=%.2f/d=%d/g=%d", p.Utilization, p.Domains, p.MemoryGB)
+		key := sweep.CellKey{
+			Kind:   "fig22",
+			Unit:   pointLabel,
+			Extra:  fmt.Sprintf("trials=%d", o.Trials),
+			Config: &o.Cfg,
+		}
+		rates, outcome, err := sweepCell(&o, key, func(context.Context) (fig22Rates, error) {
+			seed := rng.ForkLabel(o.Cfg.Sim.Seed, pointLabel)
+			var r fig22Rates
+			r.Static, r.IvLeague = analysis.SuccessRates(analysis.ScalabilityConfig{
+				TreeLings:     4096,
+				TreeLingBytes: o.Cfg.TreeLingBytes(),
+				Utilization:   p.Utilization,
+				Domains:       p.Domains,
+				MemoryBytes:   uint64(p.MemoryGB) << 30,
+				Trials:        o.Trials,
+				Seed:          seed,
+			})
+			return r, nil
 		})
+		if outcome == sweep.OutcomeDegraded {
+			degraded[i] = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.Static, p.IvLeague = rates.Static, rates.IvLeague
 		o.progress("fig22 u=%.0f%% D=%d %dGB static=%.2f ivleague=%.2f",
 			p.Utilization*100, p.Domains, p.MemoryGB, p.Static, p.IvLeague)
 		return nil
 	})
-	for _, p := range pts {
-		t.AddRow(fmt.Sprintf("%.0f%%", p.Utilization*100), fmt.Sprintf("%d", p.Domains),
-			fmt.Sprintf("%d", p.MemoryGB), fmt.Sprintf("%.2f", p.Static), fmt.Sprintf("%.2f", p.IvLeague))
+	if err != nil {
+		return nil, err
 	}
-	return t
+	for i, p := range pts {
+		static, ivleague := fmt.Sprintf("%.2f", p.Static), fmt.Sprintf("%.2f", p.IvLeague)
+		if degraded[i] {
+			static, ivleague = "deg", "deg"
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", p.Utilization*100), fmt.Sprintf("%d", p.Domains),
+			fmt.Sprintf("%d", p.MemoryGB), static, ivleague)
+	}
+	return t, nil
 }
 
 // Table3 renders the hardware-cost table.

@@ -72,7 +72,11 @@ func TestAnalyticalFigures(t *testing.T) {
 	if !strings.Contains(f21, "8GB") || !strings.Contains(f21, "32GB") {
 		t.Fatalf("Fig21 malformed:\n%s", f21)
 	}
-	f22 := Fig22(o).String()
+	f22t, err := Fig22(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f22 := f22t.String()
 	if !strings.Contains(f22, "80%") {
 		t.Fatalf("Fig22 malformed:\n%s", f22)
 	}

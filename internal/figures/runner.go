@@ -10,19 +10,21 @@
 package figures
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ivleague/internal/atomicio"
 	"ivleague/internal/config"
 	"ivleague/internal/sim"
 	"ivleague/internal/stats"
+	"ivleague/internal/sweep"
 	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
 )
@@ -135,6 +137,9 @@ func benchmarkNames() []string {
 
 // aloneIPCs fans out the per-benchmark alone runs (the weighted-IPC
 // denominators of Figures 15 and 17a) and returns them keyed by benchmark.
+// Alone cells are cached like every other cell but may not degrade: a
+// missing denominator would silently poison every normalized column, so a
+// persistently failing alone run aborts the sweep.
 func aloneIPCs(o *Options) (map[string]float64, error) {
 	names := benchmarkNames()
 	vals := make([]float64, len(names))
@@ -144,7 +149,13 @@ func aloneIPCs(o *Options) (map[string]float64, error) {
 			return err
 		}
 		cfg := o.Cfg
-		ipc, err := sim.RunAlone(&cfg, config.SchemeBaseline, p)
+		key := sweep.CellKey{Kind: "alone", Scheme: config.SchemeBaseline.String(), Unit: names[i], Config: &cfg}
+		ipc, outcome, err := sweepCell(o, key, func(ctx context.Context) (float64, error) {
+			return runAlone(&cfg, p, ctx)
+		})
+		if outcome == sweep.OutcomeDegraded {
+			return fmt.Errorf("figures: alone run %s is a required denominator: %w", names[i], err)
+		}
 		if err != nil {
 			return fmt.Errorf("figures: alone run %s: %w", names[i], err)
 		}
@@ -160,6 +171,15 @@ func aloneIPCs(o *Options) (map[string]float64, error) {
 		out[name] = vals[i]
 	}
 	return out, nil
+}
+
+// runAlone is sim.RunAlone with an optional cancellation context.
+func runAlone(cfg *config.Config, prof workload.Profile, ctx context.Context) (float64, error) {
+	var opts []sim.MachineOption
+	if ctx != nil {
+		opts = append(opts, sim.WithContext(ctx))
+	}
+	return sim.RunAlone(cfg, config.SchemeBaseline, prof, opts...)
 }
 
 // mixSchemeJob is one (mix, scheme) simulation of a fan-out.
@@ -182,27 +202,16 @@ func mixSchemeJobs(mixes []workload.Mix, schemes []config.Scheme) []mixSchemeJob
 // runMixSchemes fans out one simulation per (mix, scheme) job. deriveCfg
 // maps a job to the configuration its run uses (it must be a pure function
 // of the job so that results do not depend on scheduling); tag prefixes
-// the progress lines.
+// the progress lines and namespaces the sweep-cache cells.
 func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob) config.Config, tag string) ([]sim.Result, error) {
 	out := make([]sim.Result, len(jobs))
 	err := o.forEach(len(jobs), func(i int) error {
 		cfg := deriveCfg(jobs[i])
-		opts := o.Inject.MachineOptions()
-		var tracer *telemetry.Tracer
-		if o.TraceDir != "" {
-			tracer = telemetry.NewTracer(0, o.TraceSample)
-			opts = append(opts, sim.WithTracer(tracer))
-		}
-		res, err := sim.RunMixErr(&cfg, jobs[i].scheme, jobs[i].mix, opts...)
+		res, err := o.mixCell(tag, &cfg, jobs[i])
 		if err != nil {
 			return fmt.Errorf("figures: %s: %w", tag, err)
 		}
 		out[i] = res
-		if tracer != nil {
-			if err := writeTraceFile(o.TraceDir, tag, jobs[i], tracer); err != nil {
-				return err
-			}
-		}
 		o.progress("%s %-4s %-18s failed=%v", tag, jobs[i].mix.Name, jobs[i].scheme, res.Failed)
 		return nil
 	})
@@ -212,19 +221,91 @@ func runMixSchemes(o *Options, jobs []mixSchemeJob, deriveCfg func(mixSchemeJob)
 	return out, nil
 }
 
+// mixCell runs one (mix, scheme) simulation, through the sweep cache when
+// one is attached. A contained per-cell failure (timeout, simulation
+// error within the failure budget) comes back as a synthetic degraded
+// Result, which the tables render as "deg" — the sweep keeps going.
+func (o *Options) mixCell(tag string, cfg *config.Config, job mixSchemeJob) (sim.Result, error) {
+	key := sweep.CellKey{Kind: "mix", Extra: tag, Scheme: job.scheme.String(), Unit: job.mix.Name, Config: cfg}
+	res, outcome, err := sweepCell(o, key, func(ctx context.Context) (sim.Result, error) {
+		opts := o.Inject.MachineOptions()
+		if ctx != nil {
+			opts = append(opts, sim.WithContext(ctx))
+		}
+		var tracer *telemetry.Tracer
+		if o.TraceDir != "" {
+			tracer = telemetry.NewTracer(0, o.TraceSample)
+			opts = append(opts, sim.WithTracer(tracer))
+		}
+		r, err := sim.RunMixErr(cfg, job.scheme, job.mix, opts...)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if ctx != nil && r.Failed {
+			if cerr := ctx.Err(); cerr != nil {
+				// The failure is (or is masked by) the cell's cancellation:
+				// surface it as an error so the engine never caches a
+				// timed-out run as a measured outcome.
+				return sim.Result{}, fmt.Errorf("%s: %w", r.FailMsg, cerr)
+			}
+		}
+		if tracer != nil {
+			if err := writeTraceFile(o.TraceDir, tag, job, tracer); err != nil {
+				return sim.Result{}, err
+			}
+		}
+		return r, nil
+	})
+	if outcome == sweep.OutcomeDegraded {
+		return sim.Result{Scheme: job.scheme, Failed: true, Degraded: true, FailMsg: err.Error()}, nil
+	}
+	return res, err
+}
+
+// cellBypass reports whether simulation cells must skip the sweep cache:
+// armed fault injection and per-run trace export have effects a cached
+// result cannot reproduce, so those runs always simulate (the exact
+// pre-cache path).
+func (o *Options) cellBypass() bool {
+	return o.Sweep == nil || o.Inject != nil || o.TraceDir != ""
+}
+
+// sweepCell routes one cell through Options.Sweep: cache hit, fresh run
+// (persisted immediately), degraded containment, or fatal abort. With no
+// engine attached (or under cellBypass) it runs the body directly with a
+// nil context — the exact uncached code path.
+func sweepCell[T any](o *Options, key sweep.CellKey, run func(ctx context.Context) (T, error)) (T, sweep.Outcome, error) {
+	var v T
+	if o.cellBypass() {
+		var err error
+		v, err = run(nil)
+		return v, sweep.OutcomeRan, err
+	}
+	outcome, err := o.Sweep.Cell(key, &v, func(ctx context.Context) error {
+		r, err := run(ctx)
+		if err != nil {
+			return err
+		}
+		v = r
+		return nil
+	})
+	return v, outcome, err
+}
+
 // writeTraceFile exports one run's events as Chrome trace-event JSON into
-// dir. Each worker writes its own file, so no synchronization is needed.
+// dir. Each worker writes its own file (atomically, so an interrupt never
+// leaves a truncated trace), so no synchronization is needed.
 func writeTraceFile(dir, tag string, job mixSchemeJob, tr *telemetry.Tracer) error {
 	name := fmt.Sprintf("trace_%s_%s_%s.json", tag, job.mix.Name, job.scheme)
-	f, err := os.Create(filepath.Join(dir, name))
+	f, err := atomicio.Create(filepath.Join(dir, name))
 	if err != nil {
 		return fmt.Errorf("figures: trace: %w", err)
 	}
 	if err := tr.WriteChromeTrace(f); err != nil {
-		f.Close()
+		f.Abort()
 		return fmt.Errorf("figures: trace %s: %w", name, err)
 	}
-	if err := f.Close(); err != nil {
+	if err := f.Commit(); err != nil {
 		return fmt.Errorf("figures: trace %s: %w", name, err)
 	}
 	return nil

@@ -157,9 +157,17 @@ func TestRunParallelismDeterminism(t *testing.T) {
 func TestFig22ParallelismDeterminism(t *testing.T) {
 	o := tinyOptions(t, "S-1")
 	o.Parallelism = 1
-	serial := Fig22(o).String()
+	st, err := Fig22(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := st.String()
 	o.Parallelism = 8
-	parallel := Fig22(o).String()
+	pt, err := Fig22(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := pt.String()
 	if serial != parallel {
 		t.Fatalf("Fig22 diverges:\n-- j=1 --\n%s\n-- j=8 --\n%s", serial, parallel)
 	}

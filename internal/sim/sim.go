@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -85,6 +86,10 @@ type Machine struct {
 	opHook  func(*Machine, uint64) error
 	opCount uint64
 
+	// ctx, when set (WithContext), is polled every ctxPollMask+1 ops so a
+	// timed-out or interrupted sweep cell stops promptly.
+	ctx context.Context
+
 	// TraceWriter, when set before Run, records every generated memory
 	// access (internal/trace format). Set with RecordTrace.
 	traceW *trace.Writer
@@ -115,6 +120,7 @@ type machineOpts struct {
 	opHook  func(*Machine, uint64) error
 	tracer  *telemetry.Tracer
 	audit   *telemetry.Audit
+	ctx     context.Context
 }
 
 // WithFunctionalMem runs the secure-memory controller with its functional
@@ -139,6 +145,20 @@ func WithOpHook(h func(*Machine, uint64) error) MachineOption {
 func WithTracer(tr *telemetry.Tracer) MachineOption {
 	return func(o *machineOpts) { o.tracer = tr }
 }
+
+// WithContext makes the run cancelable: the machine polls ctx every
+// ctxPollMask+1 ops and stops with a failure cause wrapping ctx's error
+// when it fires. The sweep engine uses this for per-cell timeouts and
+// SIGINT draining; a context that never fires leaves the simulation's
+// behaviour bit-for-bit unchanged (the poll reads no simulation state).
+func WithContext(ctx context.Context) MachineOption {
+	return func(o *machineOpts) { o.ctx = ctx }
+}
+
+// ctxPollMask throttles context polling to every 4096 ops: cheap enough
+// to be invisible, frequent enough that a canceled cell drains in
+// microseconds of host time.
+const ctxPollMask = 1<<12 - 1
 
 // WithAudit attaches an isolation audit: the controller records every
 // integrity-metadata touch by (domain, TreeLing, level, node) so the run
@@ -171,6 +191,7 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		mem:    mem,
 		owners: make(map[uint64]owner),
 		opHook: mo.opHook,
+		ctx:    mo.ctx,
 	}
 	m.l3, err = cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0)
 	if err != nil {
@@ -494,6 +515,14 @@ type Result struct {
 	// failure; the figure harness reports such cells as degraded, not
 	// broken.
 	Tampered bool
+	// Degraded marks a synthetic placeholder produced by the sweep
+	// engine's fault containment: the cell failed persistently (error,
+	// panic, or timeout past the -cell-timeout bound) within the
+	// -max-cell-failures budget, so its table entries render as "deg"
+	// instead of aborting the sweep. Never set by the simulator itself,
+	// and never persisted to the result cache (a resumed sweep retries
+	// the cell).
+	Degraded bool
 	// Per-thread outcomes, index-aligned with the mix's thread order.
 	Bench []string
 	IPC   []float64
@@ -549,6 +578,12 @@ func (m *Machine) Run() Result {
 			m.resetStats()
 		}
 		for _, t := range m.threads {
+			if m.ctx != nil && m.opCount&ctxPollMask == 0 {
+				if err := m.ctx.Err(); err != nil {
+					m.fail(fmt.Errorf("sim: run canceled at op %d: %w", m.opCount, err))
+					break
+				}
+			}
 			if m.opHook != nil {
 				if err := m.opHook(m, m.opCount); err != nil {
 					m.fail(err)
@@ -652,9 +687,9 @@ func RunMixErr(cfg *config.Config, scheme config.Scheme, mix workload.Mix, opts 
 
 // RunAlone runs a single benchmark by itself (for weighted-IPC baselines)
 // under the given scheme and returns its mean per-thread IPC.
-func RunAlone(cfg *config.Config, scheme config.Scheme, prof workload.Profile) (float64, error) {
+func RunAlone(cfg *config.Config, scheme config.Scheme, prof workload.Profile, opts ...MachineOption) (float64, error) {
 	mix := workload.Mix{Name: "alone-" + prof.Name, Procs: []workload.Profile{prof}}
-	m, err := NewMachine(cfg, scheme, mix, 0)
+	m, err := NewMachine(cfg, scheme, mix, 0, opts...)
 	if err != nil {
 		return 0, err
 	}

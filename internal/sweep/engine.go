@@ -1,0 +1,283 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"ivleague/internal/telemetry"
+)
+
+// JournalName is the journal's filename inside a cache directory.
+const JournalName = "journal.jsonl"
+
+// ErrFailureBudget is wrapped into the error that aborts a sweep once
+// more cells have persistently failed than MaxCellFailures allows.
+var ErrFailureBudget = errors.New("sweep: cell failure budget exhausted")
+
+// Metrics counts what a sweep did. All fields are atomic so concurrent
+// workers can bump them without locks; Register publishes them into a
+// telemetry.Registry so sweep reports ride the same observability layer
+// as the simulator's own counters.
+type Metrics struct {
+	Hits          atomic.Uint64 // cells answered from the cache
+	Misses        atomic.Uint64 // cells that had to simulate
+	Corrupt       atomic.Uint64 // cache entries rejected (truncated/garbage/version)
+	WriteRetries  atomic.Uint64 // transient cache-write I/O retries
+	WriteFailures atomic.Uint64 // cache writes abandoned after all retries
+	Degraded      atomic.Uint64 // cells contained as degraded after persistent failure
+	Canceled      atomic.Uint64 // cells abandoned by a sweep interrupt
+}
+
+// Register publishes every counter as a gauge in r under sweep.cache.*
+// and sweep.cell.* names.
+func (m *Metrics) Register(r *telemetry.Registry) {
+	gauge := func(name string, v *atomic.Uint64) {
+		r.RegisterGauge(name, func() float64 { return float64(v.Load()) })
+	}
+	gauge("sweep.cache.hits", &m.Hits)
+	gauge("sweep.cache.misses", &m.Misses)
+	gauge("sweep.cache.corrupt", &m.Corrupt)
+	gauge("sweep.cache.write_retries", &m.WriteRetries)
+	gauge("sweep.cache.write_failures", &m.WriteFailures)
+	gauge("sweep.cell.degraded", &m.Degraded)
+	gauge("sweep.cell.canceled", &m.Canceled)
+}
+
+// Summary renders a one-line report of the sweep's cache behaviour.
+func (m *Metrics) Summary() string {
+	return fmt.Sprintf("sweep: %d cached, %d simulated, %d degraded, %d corrupt entries dropped, %d write retries",
+		m.Hits.Load(), m.Misses.Load(), m.Degraded.Load(), m.Corrupt.Load(), m.WriteRetries.Load())
+}
+
+// EngineConfig configures a sweep engine.
+type EngineConfig struct {
+	// Dir is the cache directory (objects/ store + journal).
+	Dir string
+	// CellTimeout bounds one cell's simulation; 0 disables the bound. A
+	// timed-out cell counts against the failure budget and is rendered
+	// degraded, not fatal.
+	CellTimeout time.Duration
+	// MaxCellFailures is how many persistently failing cells a sweep
+	// tolerates (journaled as failed, rendered as degraded entries)
+	// before aborting; negative means unlimited.
+	MaxCellFailures int
+	// Ctx, when non-nil, interrupts the sweep: in-flight cells observe
+	// the cancellation (the simulator polls it), are drained without
+	// being cached, and the engine reports fatal outcomes so the caller
+	// can checkpoint and exit with a resume hint.
+	Ctx context.Context
+	// Metrics receives the counters; nil allocates a private set.
+	Metrics *Metrics
+}
+
+// Engine coordinates cached, fault-contained sweep cells. It is safe for
+// concurrent use by the figure harness's worker pool.
+type Engine struct {
+	cache   *Cache
+	journal *Journal
+	metrics *Metrics
+	ctx     context.Context
+
+	cellTimeout time.Duration
+	maxFailures int
+	failures    atomic.Int64
+
+	// grace is how long a timed-out/canceled cell gets to notice its
+	// context before the engine abandons its goroutine.
+	grace time.Duration
+}
+
+// NewEngine opens the cache and journal under cfg.Dir.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cache, err := OpenCache(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	journal, err := OpenJournal(filepath.Join(cfg.Dir, JournalName))
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{
+		cache:       cache,
+		journal:     journal,
+		metrics:     m,
+		ctx:         ctx,
+		cellTimeout: cfg.CellTimeout,
+		maxFailures: cfg.MaxCellFailures,
+		grace:       2 * time.Second,
+	}, nil
+}
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Cache returns the underlying object store.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Interrupted reports whether the sweep's context has been canceled.
+func (e *Engine) Interrupted() bool { return e.ctx.Err() != nil }
+
+// Checkpoint fsyncs the journal (the SIGINT/SIGTERM drain path).
+func (e *Engine) Checkpoint() error { return e.journal.Checkpoint() }
+
+// Close checkpoints and closes the journal.
+func (e *Engine) Close() error { return e.journal.Close() }
+
+// Outcome classifies what Cell did.
+type Outcome int
+
+const (
+	// OutcomeRan: the cell simulated and its result is in dst (and, barring
+	// a persistent write failure, in the cache).
+	OutcomeRan Outcome = iota
+	// OutcomeHit: dst was decoded from the cache; nothing simulated.
+	OutcomeHit
+	// OutcomeDegraded: the cell failed persistently (error or timeout) but
+	// the failure budget absorbs it; the returned error describes the
+	// cause and dst is untouched. The sweep continues.
+	OutcomeDegraded
+	// OutcomeFatal: the sweep must stop — interrupt, unfingerprintable
+	// key, or exhausted failure budget. The returned error says which.
+	OutcomeFatal
+)
+
+// String names the outcome for journals and tests.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRan:
+		return "ran"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeFatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Cell executes one sweep cell: consult the cache, else run with the
+// configured timeout under the sweep context, persist the result
+// immediately, and contain persistent failures. run must fill dst on
+// success; on a cache hit dst is decoded from the stored entry instead.
+func (e *Engine) Cell(key CellKey, dst any, run func(ctx context.Context) error) (Outcome, error) {
+	if err := e.ctx.Err(); err != nil {
+		return OutcomeFatal, fmt.Errorf("sweep: interrupted before %s: %w", key.Label(), err)
+	}
+	fp, err := key.Fingerprint()
+	if err != nil {
+		return OutcomeFatal, err
+	}
+	hit, corrupt := e.cache.Get(fp, dst)
+	if corrupt {
+		// Never trust a partial entry: drop it (Get already removed the
+		// object), count it, and re-simulate as a plain miss.
+		e.metrics.Corrupt.Add(1)
+		if err := e.journal.Append(Record{Event: "corrupt", Fingerprint: fp, Label: key.Label()}); err != nil {
+			return OutcomeFatal, err
+		}
+	}
+	if hit {
+		e.metrics.Hits.Add(1)
+		if err := e.journal.Append(Record{Event: "hit", Fingerprint: fp, Label: key.Label()}); err != nil {
+			return OutcomeFatal, err
+		}
+		return OutcomeHit, nil
+	}
+	e.metrics.Misses.Add(1)
+	if err := e.journal.Append(Record{Event: "start", Fingerprint: fp, Label: key.Label()}); err != nil {
+		return OutcomeFatal, err
+	}
+
+	cctx := e.ctx
+	if e.cellTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(e.ctx, e.cellTimeout)
+		defer cancel()
+	}
+	runErr := e.runContained(key, cctx, run)
+
+	if e.ctx.Err() != nil {
+		// Sweep-level interrupt: the cell is neither done nor failed.
+		e.metrics.Canceled.Add(1)
+		if err := e.journal.Append(Record{Event: "interrupted", Fingerprint: fp, Label: key.Label()}); err != nil {
+			return OutcomeFatal, err
+		}
+		return OutcomeFatal, fmt.Errorf("sweep: interrupted during %s: %w", key.Label(), e.ctx.Err())
+	}
+	if runErr == nil {
+		retries, putErr := e.cache.Put(fp, key, dst)
+		e.metrics.WriteRetries.Add(uint64(retries))
+		rec := Record{Event: "done", Fingerprint: fp, Label: key.Label()}
+		if putErr != nil {
+			// The in-memory result is still good; a sweep that cannot
+			// persist keeps going and simply cannot skip this cell on
+			// resume.
+			e.metrics.WriteFailures.Add(1)
+			rec.Err = putErr.Error()
+		}
+		if err := e.journal.Append(rec); err != nil {
+			return OutcomeFatal, err
+		}
+		return OutcomeRan, nil
+	}
+
+	// Persistent per-cell failure (simulation error, panic, or timeout):
+	// journal it and degrade unless the budget is spent.
+	e.metrics.Degraded.Add(1)
+	if err := e.journal.Append(Record{Event: "failed", Fingerprint: fp, Label: key.Label(), Err: runErr.Error()}); err != nil {
+		return OutcomeFatal, err
+	}
+	if n := e.failures.Add(1); e.maxFailures >= 0 && n > int64(e.maxFailures) {
+		return OutcomeFatal, fmt.Errorf("%w: %d cells failed (budget %d), last: %s: %v",
+			ErrFailureBudget, n, e.maxFailures, key.Label(), runErr)
+	}
+	return OutcomeDegraded, fmt.Errorf("sweep: cell %s failed: %w", key.Label(), runErr)
+}
+
+// runContained runs the cell body under ctx, converting panics to errors
+// and bounding how long the engine waits after the context fires.
+func (e *Engine) runContained(key CellKey, ctx context.Context, run func(ctx context.Context) error) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("sweep: cell %s panicked: %v", key.Label(), r)
+			}
+		}()
+		done <- run(ctx)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// Give the cell a grace window to observe the cancellation (the
+		// simulator polls its context every few thousand ops); a cell
+		// that ignores it is abandoned — its goroutine finishes into the
+		// buffered channel and is collected.
+		select {
+		case err := <-done:
+			if err == nil {
+				// Finished despite the firing deadline/cancel: only a
+				// timeout makes this reachable with a usable result, and
+				// the result is valid — keep it.
+				return nil
+			}
+			return err
+		case <-time.After(e.grace):
+			return fmt.Errorf("sweep: cell %s abandoned: %w", key.Label(), ctx.Err())
+		}
+	}
+}
