@@ -16,6 +16,7 @@ import (
 	"ivleague/internal/figures"
 	"ivleague/internal/hwcost"
 	"ivleague/internal/sim"
+	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
 )
 
@@ -375,6 +376,33 @@ func BenchmarkFiguresRunEngine(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := figures.Run(o); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhaseTimerOverhead quantifies the hot-path cost of the phase
+// timers: "off" is the default nil-timer path (one predictable nil check
+// per region, expected to be indistinguishable from the pre-timer
+// simulator), "sampled64" is the ivperf default, "every-op" the worst
+// case (two clock reads per region on every op).
+func BenchmarkPhaseTimerOverhead(b *testing.B) {
+	cfg := benchCfg()
+	mix := benchMix(b, "S-1")
+	for _, mode := range []struct {
+		name   string
+		sample int // 0 = timers off
+	}{{"off", 0}, {"sampled64", 64}, {"every-op", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var opts []sim.MachineOption
+				if mode.sample > 0 {
+					opts = append(opts, sim.WithPhaseTimers(telemetry.NewPhaseTimers(mode.sample)))
+				}
+				res := sim.RunMix(&cfg, config.SchemeIvLeaguePro, mix, opts...)
+				if res.Failed {
+					b.Fatal(res.FailMsg)
 				}
 			}
 		})

@@ -31,6 +31,7 @@ import (
 
 	"ivleague/internal/atomicio"
 	"ivleague/internal/figures"
+	"ivleague/internal/obs"
 	"ivleague/internal/stats"
 	"ivleague/internal/sweep"
 	"ivleague/internal/telemetry"
@@ -54,9 +55,18 @@ func main() {
 	resume := flag.Bool("resume", false, "with -cache-dir, resume a previous (possibly killed) sweep: requires an existing journal and reports prior progress")
 	cellTimeout := flag.Duration("cell-timeout", 0, "with -cache-dir, bound one cell's simulation (0 = unbounded); timed-out cells degrade instead of hanging the sweep")
 	maxCellFailures := flag.Int("max-cell-failures", 4, "with -cache-dir, tolerate this many persistently failing cells (rendered as \"deg\") before aborting; negative = unlimited")
+	httpAddr := flag.String("http", "", "serve live observability (/metrics, /progress, /healthz, /debug/pprof) on this address while the harness runs (e.g. :9090)")
 	flag.Parse()
 
+	// One process-wide CPU profiler: the -cpuprofile file and the live
+	// server's /debug/pprof/profile endpoint arbitrate through this guard
+	// instead of corrupting each other's profiles.
+	profGuard := &obs.CPUProfileGuard{}
 	if *cpuProfile != "" {
+		if err := profGuard.Acquire("-cpuprofile " + *cpuProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
 		f, err := atomicio.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ivbench:", err)
@@ -69,6 +79,7 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			profGuard.Release()
 			if err := f.Commit(); err != nil {
 				fmt.Fprintln(os.Stderr, "ivbench:", err)
 			}
@@ -123,7 +134,10 @@ func main() {
 	}
 
 	// The sweep engine: content-addressed result cache + journal + fault
-	// containment, interruptible by SIGINT/SIGTERM.
+	// containment, interruptible by SIGINT/SIGTERM. Its metrics and the
+	// live server share one registry, so /metrics carries the sweep
+	// gauges whenever a cache is in use.
+	reg := telemetry.NewRegistry()
 	var engine *sweep.Engine
 	var metrics *sweep.Metrics
 	ctx := context.Background()
@@ -145,7 +159,6 @@ func main() {
 		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		metrics = &sweep.Metrics{}
-		reg := telemetry.NewRegistry()
 		metrics.Register(reg)
 		var err error
 		engine, err = sweep.NewEngine(sweep.EngineConfig{
@@ -161,6 +174,33 @@ func main() {
 		}
 		defer engine.Close()
 		opts.Sweep = engine
+	}
+
+	// The live observability server: progress over every fan-out, the
+	// shared registry's metrics, and guarded pprof.
+	var prog *obs.Progress
+	if *httpAddr != "" {
+		prog = obs.NewProgress()
+		prog.Register(reg)
+		opts.Observer = prog
+		degraded := func() int64 {
+			if metrics == nil {
+				return -1
+			}
+			return int64(metrics.Degraded.Load())
+		}
+		srv, err := obs.StartServer(obs.ServerConfig{
+			Addr:     *httpAddr,
+			Snapshot: reg.Snapshot,
+			Progress: func() obs.ProgressReport { return prog.Report(degraded()) },
+			Profiles: profGuard,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivbench:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ivbench: observability server on %s (/metrics /progress /healthz /debug/pprof)\n", srv.URL())
 	}
 
 	known := []string{"table3", "fig21", "fig22", "fig3", "fig15", "fig16",
@@ -263,5 +303,10 @@ func main() {
 
 	if engine != nil {
 		fmt.Fprintf(os.Stderr, "ivbench: %s in %s\n", metrics.Summary(), time.Since(start).Round(time.Millisecond))
+	}
+	if prog != nil {
+		r := prog.Report(-1)
+		fmt.Fprintf(os.Stderr, "ivbench: progress: %d/%d cells done, %d failed, cell latency p50/p99 %dms/%dms\n",
+			r.DoneCells, r.TotalCells, r.FailedCells, r.Latency.P50Ms, r.Latency.P99Ms)
 	}
 }

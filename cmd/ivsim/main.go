@@ -13,6 +13,7 @@ import (
 	"ivleague/internal/atomicio"
 	"ivleague/internal/config"
 	"ivleague/internal/faults"
+	"ivleague/internal/obs"
 	"ivleague/internal/sim"
 	"ivleague/internal/telemetry"
 	"ivleague/internal/workload"
@@ -36,6 +37,9 @@ func main() {
 	injectSpec := flag.String("inject", "",
 		"inject a fault as class@op (classes: "+liveClassNames()+"); the run reports whether the scheme detected it")
 	crashAt := flag.Uint64("crash-at", 0, "kill the run at this op, recover from the persisted image and check state equality")
+	httpAddr := flag.String("http", "", "serve live observability (/metrics, /healthz, /debug/pprof) on this address while the run executes (e.g. :9090)")
+	phaseTimersFlag := flag.Bool("phase-timers", false, "sample per-phase host time on the simulation hot path and print the breakdown")
+	phaseSample := flag.Int("phase-sample", 64, "with -phase-timers, sample every Nth op (rounded to a power of two)")
 	flag.Parse()
 
 	scheme, err := parseScheme(*schemeName)
@@ -94,6 +98,34 @@ func main() {
 	if *auditFlag {
 		audit = telemetry.NewAudit()
 		opts = append(opts, sim.WithAudit(audit))
+	}
+	var phases *telemetry.PhaseTimers
+	if *phaseTimersFlag {
+		phases = telemetry.NewPhaseTimers(*phaseSample)
+		opts = append(opts, sim.WithPhaseTimers(phases))
+	}
+	if *httpAddr != "" {
+		// The machine's registry belongs to the simulation goroutine, so
+		// the server never touches it: an op hook publishes snapshots at
+		// a fixed cadence and handlers read the latest published one.
+		pub := &obs.Publisher{}
+		opts = append(opts, sim.WithOpHook(func(m *sim.Machine, op uint64) error {
+			if op%16384 == 0 {
+				pub.Publish(m.Registry().Snapshot())
+			}
+			return nil
+		}))
+		srv, err := obs.StartServer(obs.ServerConfig{
+			Addr:     *httpAddr,
+			Snapshot: pub.Latest,
+			Profiles: &obs.CPUProfileGuard{},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ivsim: observability server on %s (/metrics /healthz /debug/pprof)\n", srv.URL())
 	}
 
 	var res sim.Result
@@ -176,6 +208,9 @@ func main() {
 	}
 	if scheme == config.SchemeStaticPartition {
 		fmt.Printf("partition swaps:      %d\n", res.Swaps)
+	}
+	if phases != nil {
+		fmt.Print(phases.FormatReport())
 	}
 	if tracer != nil {
 		f, err := atomicio.Create(*chromeTrace)

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"ivleague/internal/analysis"
 	"ivleague/internal/attack"
@@ -50,6 +51,13 @@ type Options struct {
 	TraceDir string
 	// TraceSample records every Nth traced event (<= 0: every event).
 	TraceSample int
+	// Observer, when non-nil, receives fan-out lifecycle callbacks from
+	// the run engine: FanOut(n) when a fan-out of n cells starts, and
+	// CellDone(d, failed) as each cell completes (from worker
+	// goroutines — implementations must be concurrency-safe; the obs
+	// package's Progress tracker is the canonical one). Reporting only:
+	// callbacks never reach simulation state or an emitted table.
+	Observer CellObserver
 	// Sweep, when non-nil, routes every simulation cell through the
 	// crash-safe resumable sweep engine: results are answered from its
 	// content-addressed cache when fingerprints match, persisted to disk
@@ -60,6 +68,16 @@ type Options struct {
 	// (see cellBypass). Cached and uncached sweeps emit byte-identical
 	// tables.
 	Sweep *sweep.Engine
+}
+
+// CellObserver observes the run engine's fan-outs (see
+// Options.Observer). obs.Progress implements it.
+type CellObserver interface {
+	// FanOut announces that n more cells are about to run.
+	FanOut(n int)
+	// CellDone reports one completed cell's wall-clock duration and
+	// whether it errored.
+	CellDone(d time.Duration, failed bool)
 }
 
 // PerfSchemes are the four schemes of Figures 15/16/18/19.

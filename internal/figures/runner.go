@@ -80,18 +80,26 @@ func (o *Options) forEach(n int, fn func(i int) error) error {
 		par = n
 	}
 	errs := make([]error, n)
+	if o.Observer != nil {
+		o.Observer.FanOut(n)
+	}
 	// done counts completions (not indices), so the "[k/n]" prefix doubles
-	// as a progress bar; the wall-clock is reporting-only and never reaches
-	// simulation state or an emitted table.
+	// as a progress bar; the wall-clock is reporting-only (progress lines
+	// and the observer's latency digest) and never reaches simulation
+	// state or an emitted table.
 	var done atomic.Int64
 	cell := func(i int) {
 		//ivlint:allow determinism — per-cell wall-clock is progress reporting only, never reaches simulation state
 		start := time.Now()
 		errs[i] = runOne(fn, i)
 		k := done.Add(1)
+		//ivlint:allow determinism — per-cell wall-clock is progress reporting only, never reaches simulation state
+		dur := time.Since(start)
+		if o.Observer != nil {
+			o.Observer.CellDone(dur, errs[i] != nil)
+		}
 		if o.Progress != nil {
-			//ivlint:allow determinism — per-cell wall-clock is progress reporting only, never reaches simulation state
-			o.progress("[%d/%d] cell %d done in %s", k, n, i, time.Since(start).Round(time.Millisecond))
+			o.progress("[%d/%d] cell %d done in %s", k, n, i, dur.Round(time.Millisecond))
 		}
 	}
 	if par <= 1 {

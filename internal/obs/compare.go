@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckOptions tunes the regression gate.
+type CheckOptions struct {
+	// Tol is the relative slowdown tolerated before a scenario counts as
+	// regressed: NEW/OLD > 1+Tol. Pick per comparison context — ~0.25
+	// for same-machine before/after runs, higher (0.5+) when comparing a
+	// committed baseline from different hardware, where absolute ns/op
+	// differ for reasons no code change caused.
+	Tol float64
+	// MADFactor scales the noise floor: in addition to the ratio test,
+	// the medians must differ by more than MADFactor × (oldMAD+newMAD)
+	// before a regression is declared. This keeps a jittery scenario
+	// (spread comparable to the delta) from flapping the gate. 0 means
+	// ratio-only.
+	MADFactor float64
+}
+
+// DefaultCheckOptions is tuned for back-to-back runs on one machine.
+func DefaultCheckOptions() CheckOptions {
+	return CheckOptions{Tol: 0.25, MADFactor: 3}
+}
+
+// Delta is one scenario's OLD→NEW comparison.
+type Delta struct {
+	Name       string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	Ratio      float64 // NEW/OLD; >1 is slower
+	Regressed  bool
+	Note       string // extra context: missing scenario, config drift, noise-floor save
+}
+
+// Check compares two trajectory points scenario-by-scenario and returns
+// one Delta per scenario of old, in old's order, followed by notes for
+// scenarios only new has. A scenario regresses when its median slows
+// beyond opt.Tol AND the slowdown clears the MAD noise floor. A
+// scenario present in old but missing from new also regresses —
+// silently dropping a benchmark must not read as "no regression".
+func Check(old, new *BenchFile, opt CheckOptions) ([]Delta, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: OLD: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: NEW: %w", err)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = DefaultCheckOptions().Tol
+	}
+	newByName := make(map[string]Measurement, len(new.Scenarios))
+	for _, m := range new.Scenarios {
+		newByName[m.Name] = m
+	}
+	var out []Delta
+	seen := make(map[string]bool, len(old.Scenarios))
+	for _, om := range old.Scenarios {
+		seen[om.Name] = true
+		nm, ok := newByName[om.Name]
+		if !ok {
+			out = append(out, Delta{
+				Name: om.Name, OldNsPerOp: om.NsPerOp,
+				Regressed: true, Note: "scenario missing from NEW",
+			})
+			continue
+		}
+		d := Delta{
+			Name: om.Name, OldNsPerOp: om.NsPerOp, NewNsPerOp: nm.NsPerOp,
+			Ratio: nm.NsPerOp / om.NsPerOp,
+		}
+		if om.ConfigFingerprint != "" && nm.ConfigFingerprint != "" &&
+			om.ConfigFingerprint != nm.ConfigFingerprint {
+			d.Note = "config fingerprint changed — numbers track config drift, not code"
+		}
+		if d.Ratio > 1+opt.Tol {
+			floor := opt.MADFactor * (mad(om.SamplesNsPerOp) + mad(nm.SamplesNsPerOp))
+			if nm.NsPerOp-om.NsPerOp > floor {
+				d.Regressed = true
+			} else if d.Note == "" {
+				d.Note = "slowdown within noise floor"
+			}
+		}
+		out = append(out, d)
+	}
+	var added []string
+	for name := range newByName {
+		if !seen[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		out = append(out, Delta{
+			Name: name, NewNsPerOp: newByName[name].NsPerOp,
+			Note: "new scenario (no baseline)",
+		})
+	}
+	return out, nil
+}
+
+// Regressions filters deltas to the failing ones.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders the comparison table for CLI output.
+func FormatDeltas(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %12s %8s  %s\n", "scenario", "old ns/op", "new ns/op", "ratio", "")
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+		}
+		if d.Note != "" {
+			status += " (" + d.Note + ")"
+		}
+		fmt.Fprintf(&b, "%-28s %12.1f %12.1f %8.3f  %s\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, status)
+	}
+	return b.String()
+}

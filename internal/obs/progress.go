@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"ivleague/internal/stats"
+	"ivleague/internal/telemetry"
+)
+
+// latHistMaxMs bounds the per-cell latency histogram: one bucket per
+// millisecond up to a minute; slower cells land in the overflow bucket
+// and quantiles report latHistMaxMs+1 ("beyond range").
+const latHistMaxMs = 60_000
+
+// rateWindow is how many recent cell completions the rolling rate (and
+// therefore the ETA) is computed over. A window, not the whole run, so
+// the ETA tracks the current fan-out's cell cost instead of averaging a
+// cheap fan-out against an expensive one.
+const rateWindow = 32
+
+// Progress tracks sweep completion across every fan-out of a harness
+// run. It is safe for concurrent use: the figure engine's workers report
+// completions while the HTTP server reads reports. It implements
+// figures.CellObserver.
+type Progress struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	done     int
+	failed   int
+	latMs    *stats.Histogram
+	recent   [rateWindow]time.Time
+	recentN  int // completions recorded into recent (monotonic)
+	maxLatMs int
+}
+
+// NewProgress returns a tracker whose elapsed clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now(), latMs: stats.NewHistogram(latHistMaxMs)}
+}
+
+// FanOut records that a fan-out of n more cells is starting. Totals are
+// cumulative: a harness run is several sequential fan-outs, and the ETA
+// is relative to the cells announced so far.
+func (p *Progress) FanOut(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// CellDone records one completed cell and its wall-clock latency.
+func (p *Progress) CellDone(d time.Duration, failed bool) {
+	if p == nil {
+		return
+	}
+	ms := int(d.Milliseconds())
+	p.mu.Lock()
+	p.done++
+	if failed {
+		p.failed++
+	}
+	p.latMs.Observe(ms)
+	if ms > p.maxLatMs {
+		p.maxLatMs = ms
+	}
+	p.recent[p.recentN%rateWindow] = time.Now()
+	p.recentN++
+	p.mu.Unlock()
+}
+
+// LatencyQuantiles is the per-cell latency digest of a ProgressReport,
+// in milliseconds.
+type LatencyQuantiles struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  int     `json:"p50_ms"`
+	P90Ms  int     `json:"p90_ms"`
+	P99Ms  int     `json:"p99_ms"`
+	MaxMs  int     `json:"max_ms"`
+}
+
+// ProgressReport is the JSON document served at /progress.
+type ProgressReport struct {
+	// TotalCells is the number of cells announced by fan-outs so far; it
+	// grows as the harness reaches later figures, so Done/Total is a
+	// lower bound on overall progress, exact within a fan-out.
+	TotalCells  int `json:"total_cells"`
+	DoneCells   int `json:"done_cells"`
+	FailedCells int `json:"failed_cells"`
+	// DegradedCells mirrors the sweep engine's containment counter when
+	// one is attached (fatal budget not yet spent); -1 when no sweep
+	// cache is in use.
+	DegradedCells int64            `json:"degraded_cells"`
+	ElapsedSec    float64          `json:"elapsed_sec"`
+	CellsPerSec   float64          `json:"cells_per_sec"` // rolling, last rateWindow cells
+	ETASec        float64          `json:"eta_sec"`       // -1 when unknown (no rate or no remaining total)
+	Latency       LatencyQuantiles `json:"cell_latency"`
+}
+
+// Report digests the tracker's state. degraded is forwarded verbatim
+// (pass -1 when no sweep engine is attached).
+func (p *Progress) Report(degraded int64) ProgressReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := ProgressReport{
+		TotalCells:    p.total,
+		DoneCells:     p.done,
+		FailedCells:   p.failed,
+		DegradedCells: degraded,
+		ElapsedSec:    time.Since(p.start).Seconds(),
+		ETASec:        -1,
+		Latency: LatencyQuantiles{
+			Count:  p.latMs.Count(),
+			MeanMs: p.latMs.Mean(),
+			P50Ms:  p.latMs.Quantile(0.50),
+			P90Ms:  p.latMs.Quantile(0.90),
+			P99Ms:  p.latMs.Quantile(0.99),
+			MaxMs:  p.maxLatMs,
+		},
+	}
+	// Rolling rate over the last min(recentN, rateWindow) completions.
+	n := p.recentN
+	if n > rateWindow {
+		n = rateWindow
+	}
+	if n >= 2 {
+		newest := p.recent[(p.recentN-1)%rateWindow]
+		oldest := p.recent[(p.recentN-n)%rateWindow]
+		if span := newest.Sub(oldest).Seconds(); span > 0 {
+			r.CellsPerSec = float64(n-1) / span
+		}
+	}
+	if r.CellsPerSec > 0 && p.total >= p.done {
+		r.ETASec = float64(p.total-p.done) / r.CellsPerSec
+	}
+	return r
+}
+
+// Register publishes the tracker as gauges in a telemetry registry, so
+// /metrics carries the same progress counters /progress reports.
+func (p *Progress) Register(r *telemetry.Registry) {
+	r.RegisterGauge("progress.cells.total", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.total)
+	})
+	r.RegisterGauge("progress.cells.done", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.done)
+	})
+	r.RegisterGauge("progress.cells.failed", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.failed)
+	})
+	r.RegisterGauge("progress.cell_latency.p50_ms", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.latMs.Quantile(0.50))
+	})
+	r.RegisterGauge("progress.cell_latency.p99_ms", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.latMs.Quantile(0.99))
+	})
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+
+	"ivleague/internal/analysis"
+	"ivleague/internal/config"
+	"ivleague/internal/sim"
+	"ivleague/internal/sweep"
+	"ivleague/internal/telemetry"
+	"ivleague/internal/workload"
+)
+
+// perfCfg is the shared reduced-scale configuration for the curated
+// scenarios — the same scale as the root bench_test.go harness, so one
+// scenario run stays in the tens-of-milliseconds range and ivperf's
+// median-of-N fits in a CI minute.
+func perfCfg() config.Config {
+	cfg := config.Default()
+	cfg.Sim.WarmupInstr = 5_000
+	cfg.Sim.MeasureInstr = 20_000
+	cfg.Sim.FootprintScale = 0.05
+	return cfg
+}
+
+// simScenario builds one simulator scenario: a full RunMix of mix under
+// scheme, work counted in simulated instructions across all threads.
+func simScenario(scheme config.Scheme, mixName string) (Scenario, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return Scenario{}, err
+	}
+	cfg := perfCfg()
+	fp, err := sweep.CellKey{
+		Kind: "perf", Scheme: scheme.String(), Unit: mixName,
+		Extra: "ivperf-v1", Config: &cfg,
+	}.Fingerprint()
+	if err != nil {
+		return Scenario{}, err
+	}
+	instr := float64(cfg.Sim.WarmupInstr+cfg.Sim.MeasureInstr) * float64(len(mix.Procs))
+	return Scenario{
+		Name:        fmt.Sprintf("sim/%s/%s", mixName, scheme),
+		Fingerprint: fp,
+		Run: func(pt *telemetry.PhaseTimers) (float64, error) {
+			var opts []sim.MachineOption
+			if pt != nil {
+				opts = append(opts, sim.WithPhaseTimers(pt))
+			}
+			res := sim.RunMix(&cfg, scheme, mix, opts...)
+			if res.Failed {
+				return 0, fmt.Errorf("%s on %s failed: %s", scheme, mixName, res.FailMsg)
+			}
+			return instr, nil
+		},
+	}, nil
+}
+
+// fig22Scenario builds the analytical Monte-Carlo scenario (no
+// simulator involved — it tracks the analysis package's speed), work
+// counted in trials.
+func fig22Scenario() (Scenario, error) {
+	sc := analysis.ScalabilityConfig{
+		TreeLings: 4096, TreeLingBytes: 16 << 20,
+		Utilization: 0.8, Domains: 128, MemoryBytes: 32 << 30,
+		Trials: 200, Seed: 42,
+	}
+	fp, err := sweep.CellKey{
+		Kind: "perf", Unit: "fig22", Extra: "ivperf-v1", Config: sc,
+	}.Fingerprint()
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Name:        "analysis/fig22",
+		Fingerprint: fp,
+		Run: func(_ *telemetry.PhaseTimers) (float64, error) {
+			s, iv := analysis.SuccessRates(sc)
+			if s < 0 || s > 1 || iv < 0 || iv > 1 {
+				return 0, fmt.Errorf("fig22 success rates out of range: %v, %v", s, iv)
+			}
+			return float64(sc.Trials), nil
+		},
+	}, nil
+}
+
+// Scenarios returns the curated benchmark set. The quick set is sized
+// for CI (a representative scheme spread on small mixes plus the
+// analytical path); the full set adds an Invert run and a Large mix for
+// local trajectory points.
+func Scenarios(quick bool) ([]Scenario, error) {
+	type spec struct {
+		scheme config.Scheme
+		mix    string
+	}
+	specs := []spec{
+		{config.SchemeBaseline, "S-1"},
+		{config.SchemeIvLeaguePro, "S-1"},
+		{config.SchemeIvLeagueBasic, "M-2"},
+	}
+	if !quick {
+		specs = append(specs,
+			spec{config.SchemeIvLeagueInvert, "S-4"},
+			spec{config.SchemeIvLeaguePro, "L-2"},
+		)
+	}
+	out := make([]Scenario, 0, len(specs)+1)
+	for _, sp := range specs {
+		s, err := simScenario(sp.scheme, sp.mix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	f22, err := fig22Scenario()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f22)
+	return out, nil
+}

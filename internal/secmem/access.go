@@ -42,7 +42,9 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		}
 		c.pageSlots[pfn] = slot
 		c.lmm.Access(domain, vpn, true) // install the LMM entry
+		mmT := c.phases.Start()
 		lat, err := c.replayOps(now, domain)
+		c.phases.End(telemetry.PhaseMeta, mmT)
 		if err != nil {
 			return 0, err
 		}
@@ -112,7 +114,9 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, 
 		}
 		delete(c.pageSlots, pfn)
 		c.lmm.Invalidate(domain, vpn)
+		mmT := c.phases.Start()
 		lat, err := c.replayOps(now, domain)
+		c.phases.End(telemetry.PhaseMeta, mmT)
 		if err == nil && c.tracer != nil {
 			c.tracer.Emit(telemetry.Event{
 				Class: telemetry.ClassPageUnmap, TS: float64(now), Dur: float64(lat),
@@ -148,6 +152,7 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 	var slot core.SlotID
 	lmmMiss := false
 	if c.ivc != nil {
+		mcT := c.phases.Start()
 		c.ops.Reset()
 		if hit := c.lmm.Access(domain, vpn, false); !hit {
 			// LMM miss: if the leaf ID turns out to be needed (a
@@ -172,7 +177,10 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 		if ns, migrated := c.ivc.OnAccess(domain, pfn, slot, &c.ops); migrated {
 			slot = ns
 		}
+		c.phases.End(telemetry.PhaseMetaCache, mcT)
+		mmT := c.phases.Start()
 		rlat, err := c.replayOps(now, domain)
+		c.phases.End(telemetry.PhaseMeta, mmT)
 		if err != nil {
 			return 0, err
 		}
@@ -201,7 +209,9 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 	if err != nil {
 		return 0, err
 	}
+	mcT := c.phases.Start()
 	res := c.counterCache.Access(ctrAddr, false)
+	c.phases.End(telemetry.PhaseMetaCache, mcT)
 	metaLat := res.Latency
 	verified := false
 	if res.EvictedDirty {
@@ -212,7 +222,9 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 		if lmmMiss && c.ivc != nil {
 			metaLat += c.dram.Access(now, c.lay.PTEAddr(domain, vpn), false)
 		}
+		twT := c.phases.Start()
 		walkLat, err := c.verifyWalk(now, domain, pfn, slot)
+		c.phases.End(telemetry.PhaseTreeWalk, twT)
 		if err != nil {
 			return 0, err
 		}
@@ -220,7 +232,10 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 		verified = true
 	}
 	if verified && c.functional {
-		if err := c.functionalVerify(domain, pfn, slot); err != nil {
+		cyT := c.phases.Start()
+		err := c.functionalVerify(domain, pfn, slot)
+		c.phases.End(telemetry.PhaseCrypto, cyT)
+		if err != nil {
 			c.TamperEvents.Inc()
 			return 0, err
 		}
@@ -253,7 +268,10 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 	// below, or a tampered counter would be incremented and re-hashed into
 	// the tree — laundering the tamper instead of detecting it.
 	if walked && c.functional {
-		if err := c.functionalVerify(domain, pfn, slot); err != nil {
+		cyT := c.phases.Start()
+		err := c.functionalVerify(domain, pfn, slot)
+		c.phases.End(telemetry.PhaseCrypto, cyT)
+		if err != nil {
 			c.TamperEvents.Inc()
 			return 0, err
 		}
@@ -274,7 +292,9 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 
 	// Update the tree node holding this counter block's hash, up to the
 	// first on-chip level (dirty in the tree cache).
+	twT := c.phases.Start()
 	leafLat, err := c.updateLeafNode(now, domain, pfn, slot)
+	c.phases.End(telemetry.PhaseTreeWalk, twT)
 	if err != nil {
 		return 0, err
 	}
@@ -286,6 +306,7 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 
 	// Functional hash maintenance.
 	if c.functional {
+		cyT := c.phases.Start()
 		snap := c.counters.Snapshot(pfn)
 		if c.forest != nil && slot != core.InvalidSlot {
 			c.forest.SetSlot(slot.TreeLing(), slot.Node(), slot.Slot(),
@@ -293,6 +314,7 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 		} else if c.global != nil {
 			c.global.Update(pfn, snap)
 		}
+		c.phases.End(telemetry.PhaseCrypto, cyT)
 	}
 	return lat, nil
 }
@@ -305,7 +327,9 @@ func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.
 	if err != nil {
 		return 0, false, err
 	}
+	mcT := c.phases.Start()
 	res := c.counterCache.Access(ctrAddr, write)
+	c.phases.End(telemetry.PhaseMetaCache, mcT)
 	lat := res.Latency
 	if res.EvictedDirty {
 		c.dram.Access(now, res.WritebackAddr, true)
@@ -314,7 +338,9 @@ func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.
 		return lat, false, nil
 	}
 	lat += c.dram.Access(now, ctrAddr, false)
+	twT := c.phases.Start()
 	walkLat, err := c.verifyWalk(now, domain, pfn, slot)
+	c.phases.End(telemetry.PhaseTreeWalk, twT)
 	if err != nil {
 		return 0, false, err
 	}

@@ -71,10 +71,12 @@ type Controller struct {
 	ops     core.OpList
 	pathBuf []int
 
-	// Observability (nil by default; attached via SetTracer/SetAudit).
+	// Observability (nil by default; attached via SetTracer/SetAudit/
+	// SetPhaseTimers).
 	// Every use is behind a nil check so a plain run pays nothing.
 	tracer *telemetry.Tracer
 	audit  *telemetry.Audit
+	phases *telemetry.PhaseTimers
 
 	// Functional data plane (WithFunctional only): ciphertext + MAC per
 	// block address.
@@ -338,6 +340,11 @@ func (c *Controller) SetTracer(t *telemetry.Tracer) { c.tracer = t }
 // SetAudit attaches an isolation audit that accounts every integrity-
 // metadata touch by (domain, TreeLing, level, node). Nil detaches.
 func (c *Controller) SetAudit(a *telemetry.Audit) { c.audit = a }
+
+// SetPhaseTimers attaches sampled hot-path phase timers; tree walks,
+// crypto work, metadata-cache lookups and NFL/LMM management accrue
+// host time into them. Nil (the default) keeps the timer calls no-ops.
+func (c *Controller) SetPhaseTimers(t *telemetry.PhaseTimers) { c.phases = t }
 
 // RegisterMetrics registers every statistic the controller and its
 // subcomponents maintain — DRAM, the metadata caches, the counter store,

@@ -79,11 +79,12 @@ type Machine struct {
 	failMsg string
 	failErr error
 
-	// opHook, when set, runs before every instruction step with the global
-	// op count; a non-nil return stops the run with that failure cause.
-	// The fault-injection engine uses it to tamper mid-run or crash at a
-	// chosen op.
-	opHook  func(*Machine, uint64) error
+	// opHooks run before every instruction step with the global op
+	// count; the first non-nil return stops the run with that failure
+	// cause. The fault-injection engine uses a hook to tamper mid-run or
+	// crash at a chosen op; the observability plane uses one to publish
+	// metric snapshots. Hooks run in registration order.
+	opHooks []func(*Machine, uint64) error
 	opCount uint64
 
 	// ctx, when set (WithContext), is polled every ctxPollMask+1 ops so a
@@ -97,6 +98,12 @@ type Machine struct {
 	// reg aggregates every component's counters; Run reads the Result off
 	// one snapshot instead of polling components by hand.
 	reg *telemetry.Registry
+	// phases, when set (WithPhaseTimers), accrues sampled host time per
+	// hot-path phase. Nil by default: every timer call is a nil-checked
+	// no-op, so the uninstrumented path is unchanged, and the timers
+	// never read simulation state, so results are byte-identical either
+	// way.
+	phases *telemetry.PhaseTimers
 	// tracer, when set (WithTracer), receives sampled per-op events for
 	// Chrome-trace export. Nil by default: the emit sites are behind nil
 	// checks so the common path pays nothing.
@@ -117,9 +124,10 @@ type MachineOption func(*machineOpts)
 
 type machineOpts struct {
 	memOpts []secmem.Option
-	opHook  func(*Machine, uint64) error
+	opHooks []func(*Machine, uint64) error
 	tracer  *telemetry.Tracer
 	audit   *telemetry.Audit
+	phases  *telemetry.PhaseTimers
 	ctx     context.Context
 }
 
@@ -134,9 +142,21 @@ func WithFunctionalMem() MachineOption {
 // WithOpHook installs a hook called before every instruction step with the
 // machine and the global op count (0-based, across all threads). A non-nil
 // return stops the run with that error as the failure cause; return
-// ErrCrashInjected to model a power loss at that op.
+// ErrCrashInjected to model a power loss at that op. Hooks compose:
+// every WithOpHook adds one, and they run in registration order until
+// the first error.
 func WithOpHook(h func(*Machine, uint64) error) MachineOption {
-	return func(o *machineOpts) { o.opHook = h }
+	return func(o *machineOpts) { o.opHooks = append(o.opHooks, h) }
+}
+
+// WithPhaseTimers attaches sampled hot-path phase timers (see
+// telemetry.PhaseTimers): the step loop and the secure-memory
+// controller accrue host time per phase, answering "where does
+// simulating an op spend time" without an external profiler. The
+// timers read only the host clock, so simulated results are
+// byte-identical with and without them.
+func WithPhaseTimers(t *telemetry.PhaseTimers) MachineOption {
+	return func(o *machineOpts) { o.phases = t }
 }
 
 // WithTracer attaches an event tracer: the machine emits a sampled event
@@ -186,12 +206,16 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		return nil, err
 	}
 	m := &Machine{
-		cfg:    *cfg,
-		scheme: scheme,
-		mem:    mem,
-		owners: make(map[uint64]owner),
-		opHook: mo.opHook,
-		ctx:    mo.ctx,
+		cfg:     *cfg,
+		scheme:  scheme,
+		mem:     mem,
+		owners:  make(map[uint64]owner),
+		opHooks: mo.opHooks,
+		phases:  mo.phases,
+		ctx:     mo.ctx,
+	}
+	if mo.phases != nil {
+		mem.SetPhaseTimers(mo.phases)
 	}
 	m.l3, err = cache.New(cfg.L3, cfg.Sim.Seed^0x13c3ed, 0)
 	if err != nil {
@@ -316,11 +340,18 @@ func (m *Machine) registerMetrics() {
 		})
 	}
 	m.reg.RegisterGauge("sim.ops", func() float64 { return float64(m.opCount) })
+	if m.phases != nil {
+		m.phases.Register(m.reg, "phase")
+	}
 }
 
 // Registry exposes the machine's metrics registry for snapshots; the
 // counters reflect the current phase (reset at the warmup boundary).
 func (m *Machine) Registry() *telemetry.Registry { return m.reg }
+
+// PhaseTimers returns the attached hot-path phase timers (nil unless
+// WithPhaseTimers was given).
+func (m *Machine) PhaseTimers() *telemetry.PhaseTimers { return m.phases }
 
 func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
 	m.owners[pfn] = owner{domain: domain, vpn: vpn}
@@ -491,7 +522,9 @@ func (m *Machine) memWriteback(t *thread, addr uint64) {
 		return // the page was freed; drop the stale line
 	}
 	block := int(addr>>config.BlockShift) & (config.BlocksPerPage - 1)
+	smT := m.phases.Start()
 	lat, err := m.mem.Access(uint64(t.cycles), o.domain, o.vpn, pfn, block, true)
+	m.phases.End(telemetry.PhaseSecMem, smT)
 	if err != nil {
 		// Writebacks happen off the instruction path; latch the error so
 		// the next step surfaces it instead of silently dropping a
@@ -545,7 +578,7 @@ type Result struct {
 func (m *Machine) Mem() *secmem.Controller { return m.mem }
 
 // OpCount returns the number of instruction steps executed so far, the
-// counter the op hook observes.
+// counter the op hooks observe.
 func (m *Machine) OpCount() uint64 { return m.opCount }
 
 // FailCause returns the error that failed the run (nil if it succeeded).
@@ -584,13 +617,22 @@ func (m *Machine) Run() Result {
 					break
 				}
 			}
-			if m.opHook != nil {
-				if err := m.opHook(m, m.opCount); err != nil {
+			failed := false
+			for _, hook := range m.opHooks {
+				if err := hook(m, m.opCount); err != nil {
 					m.fail(err)
+					failed = true
 					break
 				}
 			}
-			if err := m.step(t); err != nil {
+			if failed {
+				break
+			}
+			m.phases.BeginOp()
+			stT := m.phases.Start()
+			err := m.step(t)
+			m.phases.End(telemetry.PhaseStep, stT)
+			if err != nil {
 				m.fail(err)
 				break
 			}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"ivleague/internal/stats"
 	"ivleague/internal/telemetry"
 )
 
@@ -30,6 +32,40 @@ type Metrics struct {
 	WriteFailures atomic.Uint64 // cache writes abandoned after all retries
 	Degraded      atomic.Uint64 // cells contained as degraded after persistent failure
 	Canceled      atomic.Uint64 // cells abandoned by a sweep interrupt
+
+	// latMu guards latMs: simulated-cell wall-clock latencies (one
+	// sample per cell that actually ran, cache hits excluded — they
+	// would drown the simulation-cost signal in ~0ms samples). The
+	// histogram is lock-protected rather than atomic so readers get
+	// consistent quantiles while workers observe.
+	latMu sync.Mutex
+	latMs *stats.Histogram
+}
+
+// cellLatMaxMs bounds the latency histogram at one bucket per
+// millisecond up to a minute; slower cells land in the overflow bucket
+// and quantiles report cellLatMaxMs+1.
+const cellLatMaxMs = 60_000
+
+// ObserveCellLatency records one simulated cell's wall-clock duration.
+func (m *Metrics) ObserveCellLatency(d time.Duration) {
+	m.latMu.Lock()
+	if m.latMs == nil {
+		m.latMs = stats.NewHistogram(cellLatMaxMs)
+	}
+	m.latMs.Observe(int(d.Milliseconds()))
+	m.latMu.Unlock()
+}
+
+// CellLatency digests the simulated-cell latency distribution in
+// milliseconds: sample count, mean, median and tail.
+func (m *Metrics) CellLatency() (count uint64, meanMs float64, p50, p99 int) {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	if m.latMs == nil {
+		return 0, 0, 0, 0
+	}
+	return m.latMs.Count(), m.latMs.Mean(), m.latMs.Quantile(0.50), m.latMs.Quantile(0.99)
 }
 
 // Register publishes every counter as a gauge in r under sweep.cache.*
@@ -45,12 +81,26 @@ func (m *Metrics) Register(r *telemetry.Registry) {
 	gauge("sweep.cache.write_failures", &m.WriteFailures)
 	gauge("sweep.cell.degraded", &m.Degraded)
 	gauge("sweep.cell.canceled", &m.Canceled)
+	// The latency histogram publishes through a sampler so its quantiles
+	// are computed under the lock at snapshot time, like the raw gauges.
+	r.RegisterSampler(func(s *telemetry.Sample) {
+		count, mean, p50, p99 := m.CellLatency()
+		s.Counter("sweep.cell.latency_ms.count", count)
+		s.Gauge("sweep.cell.latency_ms.mean", mean)
+		s.Gauge("sweep.cell.latency_ms.p50", float64(p50))
+		s.Gauge("sweep.cell.latency_ms.p99", float64(p99))
+	})
 }
 
-// Summary renders a one-line report of the sweep's cache behaviour.
+// Summary renders a one-line report of the sweep's cache behaviour,
+// including the simulated-cell latency digest when any cell ran.
 func (m *Metrics) Summary() string {
-	return fmt.Sprintf("sweep: %d cached, %d simulated, %d degraded, %d corrupt entries dropped, %d write retries",
+	s := fmt.Sprintf("sweep: %d cached, %d simulated, %d degraded, %d corrupt entries dropped, %d write retries",
 		m.Hits.Load(), m.Misses.Load(), m.Degraded.Load(), m.Corrupt.Load(), m.WriteRetries.Load())
+	if count, mean, p50, p99 := m.CellLatency(); count > 0 {
+		s += fmt.Sprintf(", cell latency p50/p99/mean %dms/%dms/%.0fms", p50, p99, mean)
+	}
+	return s
 }
 
 // EngineConfig configures a sweep engine.
@@ -207,7 +257,11 @@ func (e *Engine) Cell(key CellKey, dst any, run func(ctx context.Context) error)
 		cctx, cancel = context.WithTimeout(e.ctx, e.cellTimeout)
 		defer cancel()
 	}
+	// Wall-clock only feeds the latency histogram (progress reporting);
+	// it never reaches a cached result or a table.
+	simStart := time.Now()
 	runErr := e.runContained(key, cctx, run)
+	e.metrics.ObserveCellLatency(time.Since(simStart))
 
 	if e.ctx.Err() != nil {
 		// Sweep-level interrupt: the cell is neither done nor failed.

@@ -13,6 +13,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sync"
 
 	"ivleague/internal/stats"
 )
@@ -23,10 +24,20 @@ const (
 	PhaseMeasure = "measure"
 )
 
-// Registry is the central metrics registry for one simulated machine. It
-// is not safe for concurrent use; like the rest of the simulation state it
-// belongs to exactly one run.
+// Registry is the central metrics registry for one simulated machine.
+//
+// The registry itself is safe for concurrent use: registration, Reset,
+// phase changes and Snapshot serialize on an internal lock, so a live
+// observability server can snapshot while components are still wiring
+// up (the obs plane's /metrics endpoint). The registered *sources* keep
+// their owners' concurrency contracts, though — a stats.Counter or a
+// gauge closure over plain fields still belongs to exactly one
+// simulation goroutine, and a registry over such sources must only be
+// snapshotted from that goroutine (or via an obs.Publisher). Sources
+// backed by atomics or their own locks (the sweep engine's metrics, the
+// progress tracker) may be snapshotted from anywhere.
 type Registry struct {
+	mu    sync.RWMutex
 	phase string
 
 	counterOrder []string
@@ -53,10 +64,18 @@ func NewRegistry() *Registry {
 }
 
 // SetPhase records the run phase ("warmup"/"measure"); snapshots carry it.
-func (r *Registry) SetPhase(phase string) { r.phase = phase }
+func (r *Registry) SetPhase(phase string) {
+	r.mu.Lock()
+	r.phase = phase
+	r.mu.Unlock()
+}
 
 // Phase returns the current phase marker.
-func (r *Registry) Phase() string { return r.phase }
+func (r *Registry) Phase() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.phase
+}
 
 // RegisterCounter adopts an existing counter under a unique name. The
 // registry reads it at snapshot time and zeroes it on Reset. Registration
@@ -65,6 +84,8 @@ func (r *Registry) RegisterCounter(name string, c *stats.Counter) {
 	if c == nil {
 		panic(fmt.Sprintf("telemetry: RegisterCounter(%q) with nil counter", name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.counters[name]; dup {
 		panic(fmt.Sprintf("telemetry: counter %q registered twice", name))
 	}
@@ -78,6 +99,8 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 	if fn == nil {
 		panic(fmt.Sprintf("telemetry: RegisterGauge(%q) with nil func", name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.gauges[name]; dup {
 		panic(fmt.Sprintf("telemetry: gauge %q registered twice", name))
 	}
@@ -92,6 +115,8 @@ func (r *Registry) RegisterHistogram(name string, h *stats.Histogram) {
 	if h == nil {
 		panic(fmt.Sprintf("telemetry: RegisterHistogram(%q) with nil histogram", name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.hists[name]; dup {
 		panic(fmt.Sprintf("telemetry: histogram %q registered twice", name))
 	}
@@ -106,6 +131,8 @@ func (r *Registry) RegisterSampler(fn func(*Sample)) {
 	if fn == nil {
 		panic("telemetry: RegisterSampler with nil func")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.samplers = append(r.samplers, fn)
 }
 
@@ -117,12 +144,16 @@ func (r *Registry) RegisterReset(fn func()) {
 	if fn == nil {
 		panic("telemetry: RegisterReset with nil func")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.resets = append(r.resets, fn)
 }
 
 // Reset zeroes every registered counter and histogram and runs the
 // registered reset hooks — the single end-of-warmup statistics boundary.
 func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, name := range r.counterOrder {
 		r.counters[name].Reset()
 	}
@@ -155,6 +186,8 @@ type Snapshot struct {
 
 // Snapshot reads all registered metrics.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	snap := Snapshot{
 		Phase:    r.phase,
 		Counters: make(map[string]uint64, len(r.counters)+len(r.hists)),
