@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/secmem"
 )
 
@@ -32,7 +33,7 @@ func main() {
 	const pages = 4096
 	var now uint64
 	for v := uint64(0); v < pages; v++ {
-		if _, err := mem.OnPageMap(now, 1, v, v); err != nil {
+		if _, err := mem.OnPageMap(now, 1, layout.VPN(v), layout.PFN(v)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -57,11 +58,13 @@ func main() {
 			}
 		}
 		mem.FlushMetadata() // keep the demo deterministic and cache-cold
-		lat, err := mem.Access(now, 1, v, v, 0, false)
+		res, err := mem.Do(secmem.AccessRequest{
+			Now: now, Domain: 1, VPN: layout.VPN(v), PFN: layout.PFN(v),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		now += uint64(lat)
+		now += uint64(res.Latency)
 		if ivc.Migrations.Value() > 0 && i > 2000 {
 			break
 		}
@@ -79,7 +82,9 @@ func main() {
 		before := mem.PathLen[1]
 		_ = before
 		mem.ResetStats()
-		if _, err := mem.Access(now, 1, v, v, 0, false); err != nil {
+		if _, err := mem.Do(secmem.AccessRequest{
+			Now: now, Domain: 1, VPN: layout.VPN(v), PFN: layout.PFN(v),
+		}); err != nil {
 			log.Fatal(err)
 		}
 		return int(mem.PathLen[1].Mean())

@@ -12,6 +12,7 @@ import (
 
 	"ivleague/internal/analysis"
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/secmem"
 )
 
@@ -33,13 +34,13 @@ func main() {
 		pagesOf[d] = 3500
 	}
 	var now uint64
-	pfn := uint64(0)
+	pfn := layout.PFN(0)
 	for d := 1; d <= domains; d++ {
 		if err := mem.CreateDomain(d); err != nil {
 			log.Fatal(err)
 		}
 		for v := uint64(0); v < pagesOf[d]; v++ {
-			if _, err := mem.OnPageMap(now, d, v, pfn); err != nil {
+			if _, err := mem.OnPageMap(now, d, layout.VPN(v), pfn); err != nil {
 				log.Fatalf("domain %d page %d: %v", d, v, err)
 			}
 			pfn++

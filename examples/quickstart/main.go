@@ -48,29 +48,31 @@ func main() {
 	// Protected write + read.
 	secret := make([]byte, 64)
 	copy(secret, []byte("the launch code is 00000000"))
-	lat, err := mem.WriteData(now, dom, vpn, pfn, 0, secret)
+	req := secmem.AccessRequest{Now: now, Domain: dom, VPN: vpn, PFN: pfn}
+	res, err := mem.WriteBlock(req, secret)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("secure write: %d cycles (encrypt, MAC, counter bump, tree update)\n", lat)
+	fmt.Printf("secure write: %d cycles (encrypt, MAC, counter bump, tree update)\n", res.Latency)
 
-	got, lat, err := mem.ReadData(now, dom, vpn, pfn, 0)
+	got := make([]byte, config.BlockBytes)
+	res, err = mem.ReadBlock(req, got)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("secure read:  %d cycles -> %q\n", lat, got[:27])
+	fmt.Printf("secure read:  %d cycles -> %q\n", res.Latency, got[:27])
 
 	// Attack 1: flip ciphertext bits in "off-chip memory".
 	if err := mem.CorruptData(pfn, 0); err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := mem.ReadData(now, dom, vpn, pfn, 0); err != nil {
+	if _, err := mem.ReadBlock(req, got); err != nil {
 		fmt.Printf("tampering detected: %v\n", err)
 	} else {
 		log.Fatal("BUG: tampered data verified")
 	}
 	// Repair by rewriting.
-	if _, err := mem.WriteData(now, dom, vpn, pfn, 0, secret); err != nil {
+	if _, err := mem.WriteBlock(req, secret); err != nil {
 		log.Fatal(err)
 	}
 
@@ -81,12 +83,12 @@ func main() {
 	}
 	fresh := make([]byte, 64)
 	copy(fresh, []byte("the launch code is 99999999"))
-	if _, err := mem.WriteData(now, dom, vpn, pfn, 0, fresh); err != nil {
+	if _, err := mem.WriteBlock(req, fresh); err != nil {
 		log.Fatal(err)
 	}
 	mem.ReplayBlock(snap) // stale (ciphertext, MAC, counter) triple
 	mem.FlushMetadata()   // force re-verification from memory
-	if _, _, err := mem.ReadData(now, dom, vpn, pfn, 0); err != nil {
+	if _, err := mem.ReadBlock(req, got); err != nil {
 		fmt.Printf("replay detected:    %v\n", err)
 	} else {
 		log.Fatal("BUG: replayed data verified")

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/secmem"
 	"ivleague/internal/sim"
 	"ivleague/internal/workload"
@@ -69,13 +70,13 @@ func TestFunctionalEndToEndUnderLoad(t *testing.T) {
 			// Free a random page.
 			k := int(next(uint64(len(pages))))
 			p := pages[k]
-			mem.OnPageUnmap(0, p.dom, p.vpn, p.pfn)
+			mem.OnPageUnmap(0, p.dom, layout.VPN(p.vpn), layout.PFN(p.pfn))
 			pages = append(pages[:k], pages[k+1:]...)
 		default:
 			dom := 1 + int(next(3))
 			p := page{dom: dom, vpn: uint64(i), pfn: pfn, data: byte(i)}
 			pfn++
-			if _, err := mem.OnPageMap(0, p.dom, p.vpn, p.pfn); err != nil {
+			if _, err := mem.OnPageMap(0, p.dom, layout.VPN(p.vpn), layout.PFN(p.pfn)); err != nil {
 				t.Fatal(err)
 			}
 			buf := make([]byte, 64)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/rng"
 	"ivleague/internal/secmem"
 )
@@ -60,10 +61,10 @@ type Result struct {
 type victim struct {
 	mem        *secmem.Controller
 	domain     int
-	sqrVPN     uint64
-	mulVPN     uint64
-	sqrPFN     uint64
-	mulPFN     uint64
+	sqrVPN     layout.VPN
+	mulVPN     layout.VPN
+	sqrPFN     layout.PFN
+	mulPFN     layout.PFN
 	key        []byte
 	now        *uint64
 	blockOfSqr int
@@ -72,17 +73,21 @@ type victim struct {
 
 func (v *victim) processBit(bit byte) {
 	// sqr runs for every bit.
-	lat, err := v.mem.Access(*v.now, v.domain, v.sqrVPN, v.sqrPFN, v.blockOfSqr, false)
+	res, err := v.mem.Do(secmem.AccessRequest{
+		Now: *v.now, Domain: v.domain, VPN: v.sqrVPN, PFN: v.sqrPFN, Block: v.blockOfSqr,
+	})
 	if err != nil {
 		panic(err)
 	}
-	*v.now += uint64(lat)
+	*v.now += uint64(res.Latency)
 	if bit == 1 {
-		lat, err = v.mem.Access(*v.now, v.domain, v.mulVPN, v.mulPFN, v.blockOfMul, false)
+		res, err = v.mem.Do(secmem.AccessRequest{
+			Now: *v.now, Domain: v.domain, VPN: v.mulVPN, PFN: v.mulPFN, Block: v.blockOfMul,
+		})
 		if err != nil {
 			panic(err)
 		}
-		*v.now += uint64(lat)
+		*v.now += uint64(res.Latency)
 	}
 }
 
@@ -117,25 +122,25 @@ func Run(cfg *config.Config, scheme config.Scheme, acfg Config) (*Result, error)
 	}
 	vLo, _ := mem.PartitionRange(victimDomain)
 	aLo, aHi := mem.PartitionRange(attackerDomain)
-	vSqrPFN := vLo + span*4
-	vMulPFN := vLo + span*8
+	vSqrPFN := vLo + layout.PFN(span*4)
+	vMulPFN := vLo + layout.PFN(span*8)
 	// The attacker requests frames near the victim's (sharing the
 	// level-SharedLevel node under a global tree) but in a different DRAM
 	// row, so the only shared state is the integrity-tree metadata — the
 	// channel under study (row-buffer channels are a separate, known
 	// vector the paper's threat model handles with other defenses).
-	rowPages := uint64(cfg.DRAM.RowBytes) / config.PageBytes
+	rowPages := layout.PFN(uint64(cfg.DRAM.RowBytes) / config.PageBytes)
 	if rowPages < 1 {
 		rowPages = 1
 	}
 	aSqrPFN := vSqrPFN + rowPages
 	aMulPFN := vMulPFN + rowPages
 	if scheme == config.SchemeStaticPartition && (aSqrPFN < aLo || aMulPFN >= aHi) {
-		aSqrPFN = aLo + span*4 + rowPages
-		aMulPFN = aLo + span*8 + rowPages
+		aSqrPFN = aLo + layout.PFN(span*4) + rowPages
+		aMulPFN = aLo + layout.PFN(span*8) + rowPages
 	}
 
-	mapPage := func(dom int, vpn, pfn uint64) error {
+	mapPage := func(dom int, vpn layout.VPN, pfn layout.PFN) error {
 		_, err := mem.OnPageMap(now, dom, vpn, pfn)
 		return err
 	}
@@ -174,19 +179,21 @@ func Run(cfg *config.Config, scheme config.Scheme, acfg Config) (*Result, error)
 	sqrShared := sharedNodeAddr(mem, aSqrPFN, acfg.SharedLevel)
 	mulShared := sharedNodeAddr(mem, aMulPFN, acfg.SharedLevel)
 
-	probe := func(vpn, pfn uint64, sharedAddr uint64) int {
+	probe := func(vpn layout.VPN, pfn layout.PFN, sharedAddr uint64) int {
 		// ❶ Evict the shared node (and the attacker's own lower path +
 		// counter, so the reload traverses up to the shared level).
 		mem.EvictMetadata(sharedAddr)
 		evictLowerPath(mem, attackerDomain, pfn)
 		// ❷ Reload: access own page; latency reveals whether the victim
 		// re-warmed the shared node.
-		lat, err := mem.Access(now, attackerDomain, vpn, pfn, 0, false)
+		res, err := mem.Do(secmem.AccessRequest{
+			Now: now, Domain: attackerDomain, VPN: vpn, PFN: pfn,
+		})
 		if err != nil {
 			panic(err)
 		}
-		now += uint64(lat)
-		return lat
+		now += uint64(res.Latency)
+		return res.Latency
 	}
 
 	// Calibration: the attacker measures its own reload latency with the
@@ -201,8 +208,10 @@ func Run(cfg *config.Config, scheme config.Scheme, acfg Config) (*Result, error)
 			cSum += float64(probe(0x201, aMulPFN, mulShared))
 			// Warm the shared node via a preceding access, then reload.
 			evictLowerPath(mem, attackerDomain, aMulPFN)
-			if lat, err := mem.Access(now, attackerDomain, 0x201, aMulPFN, 1, false); err == nil {
-				now += uint64(lat)
+			if res, err := mem.Do(secmem.AccessRequest{
+				Now: now, Domain: attackerDomain, VPN: 0x201, PFN: aMulPFN, Block: 1,
+			}); err == nil {
+				now += uint64(res.Latency)
 			}
 			evictLowerPath(mem, attackerDomain, aMulPFN)
 			wSum += float64(probe2(mem, &now, attackerDomain, 0x201, aMulPFN))
@@ -261,14 +270,14 @@ func Run(cfg *config.Config, scheme config.Scheme, acfg Config) (*Result, error)
 
 // probe2 reloads the attacker's page with its lower path evicted, so the
 // verification walk reaches the (potentially shared) upper node.
-func probe2(mem *secmem.Controller, now *uint64, domain int, vpn, pfn uint64) int {
+func probe2(mem *secmem.Controller, now *uint64, domain int, vpn layout.VPN, pfn layout.PFN) int {
 	evictLowerPath(mem, domain, pfn)
-	lat, err := mem.Access(*now, domain, vpn, pfn, 0, false)
+	res, err := mem.Do(secmem.AccessRequest{Now: *now, Domain: domain, VPN: vpn, PFN: pfn})
 	if err != nil {
 		panic(err)
 	}
-	*now += uint64(lat)
-	return lat
+	*now += uint64(res.Latency)
+	return res.Latency
 }
 
 // mustAddr unwraps a layout address computation. The attack harness only
@@ -282,12 +291,12 @@ func mustAddr(addr uint64, err error) uint64 {
 
 // sharedNodeAddr returns the memory address of the tree node at the given
 // level on pfn's verification path under the machine's scheme.
-func sharedNodeAddr(mem *secmem.Controller, pfn uint64, level int) uint64 {
+func sharedNodeAddr(mem *secmem.Controller, pfn layout.PFN, level int) uint64 {
 	lay := mem.Layout()
 	if ivc := mem.IvLeague(); ivc != nil {
 		slot, ok := mem.SlotOf(pfn)
 		if !ok {
-			panic(fmt.Sprintf("attack: pfn %d unmapped", pfn))
+			panic(fmt.Sprintf("attack: pfn %d unmapped", uint64(pfn)))
 		}
 		path := ivc.PathNodes(slot, nil)
 		idx := level - 1
@@ -302,7 +311,7 @@ func sharedNodeAddr(mem *secmem.Controller, pfn uint64, level int) uint64 {
 // evictLowerPath evicts pfn's counter block and the tree nodes below the
 // shared level from the metadata caches, forcing the next access to
 // traverse the tree upward.
-func evictLowerPath(mem *secmem.Controller, domain int, pfn uint64) {
+func evictLowerPath(mem *secmem.Controller, domain int, pfn layout.PFN) {
 	lay := mem.Layout()
 	mem.CounterCache().Invalidate(mustAddr(lay.CounterBlockAddr(pfn)))
 	if ivc := mem.IvLeague(); ivc != nil {
@@ -320,7 +329,7 @@ func evictLowerPath(mem *secmem.Controller, domain int, pfn uint64) {
 // sharesPathNode reports whether the two pages' verification paths contain
 // a common node block address at or above the given level — the structural
 // leakage condition.
-func sharesPathNode(mem *secmem.Controller, pfnA, pfnB uint64, level int) bool {
+func sharesPathNode(mem *secmem.Controller, pfnA, pfnB layout.PFN, level int) bool {
 	lay := mem.Layout()
 	if ivc := mem.IvLeague(); ivc != nil {
 		sa, okA := mem.SlotOf(pfnA)

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/secmem"
 )
 
@@ -43,9 +44,9 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 	now := uint64(0)
 
 	// Victim pages: sqr touched every bit, mul only for 1-bits.
-	vSqr, vMul := uint64(64), uint64(8192)
-	for i, pfn := range []uint64{vSqr, vMul} {
-		if _, err := mem.OnPageMap(now, victimDomain, uint64(0x100+i), pfn); err != nil {
+	vSqr, vMul := layout.PFN(64), layout.PFN(8192)
+	for i, pfn := range []layout.PFN{vSqr, vMul} {
+		if _, err := mem.OnPageMap(now, victimDomain, layout.VPN(0x100+i), pfn); err != nil {
 			return nil, err
 		}
 	}
@@ -59,15 +60,15 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 	// a direct-indexed cache) to the victim's set. The attacker computes
 	// this from public address geometry; with randomized indexing the
 	// same pages scatter over unknown sets.
-	var probePages []uint64
-	vpn := uint64(0x200)
+	var probePages []layout.PFN
+	vpn := layout.VPN(0x200)
 	for idx := uint64(0); len(probePages) < tc.Ways; idx++ {
 		addr := mustAddr(lay.GlobalNodeAddr(1, idx))
 		if (addr>>6)%sets != targetSet {
 			continue
 		}
-		pfn := idx * uint64(lay.Arity) // first page under that leaf node
-		if pfn == vMul || pfn == vSqr || pfn >= lay.Pages {
+		pfn := layout.PFN(idx * uint64(lay.Arity)) // first page under that leaf node
+		if pfn == vMul || pfn == vSqr || uint64(pfn) >= lay.Pages {
 			continue
 		}
 		if _, err := mem.OnPageMap(now, attackerDomain, vpn, pfn); err != nil {
@@ -77,20 +78,20 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 		vpn++
 	}
 
-	access := func(dom int, vpn, pfn uint64) int {
+	access := func(dom int, vpn layout.VPN, pfn layout.PFN) int {
 		// Force the walk: evict the page's counter so verification runs.
 		mem.CounterCache().Invalidate(mustAddr(lay.CounterBlockAddr(pfn)))
-		lat, err := mem.Access(now, dom, vpn, pfn, 0, false)
+		res, err := mem.Do(secmem.AccessRequest{Now: now, Domain: dom, VPN: vpn, PFN: pfn})
 		if err != nil {
 			panic(err)
 		}
-		now += uint64(lat)
-		return lat
+		now += uint64(res.Latency)
+		return res.Latency
 	}
 	prime := func() int {
 		total := 0
 		for i, pfn := range probePages {
-			total += access(attackerDomain, uint64(0x200+i), pfn)
+			total += access(attackerDomain, layout.VPN(0x200+i), pfn)
 		}
 		return total
 	}
@@ -99,7 +100,7 @@ func PrimeProbe(cfg *config.Config, randomized bool, keyBits int, seed uint64) (
 	probe := func() int {
 		total := 0
 		for i := len(probePages) - 1; i >= 0; i-- {
-			total += access(attackerDomain, uint64(0x200+i), probePages[i])
+			total += access(attackerDomain, layout.VPN(0x200+i), probePages[i])
 		}
 		return total
 	}

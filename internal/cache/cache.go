@@ -11,24 +11,29 @@
 //   - Way partitioning/locking: a number of ways per set can be reserved so
 //     that pinned lines (e.g. the tree levels above TreeLing roots) are
 //     never evicted by normal fills, matching IvLeague's root locking.
+//
+// The replacement state lives in one flat uint64 arena with each set's
+// block laid out contiguously: the way tags first, then the last-use
+// stamps packed two-per-word as uint32 halves, then one word of
+// dirty/locked bit masks. The tag-match loop — the hottest loop in the
+// whole simulator — thus scans ways*8 contiguous bytes, the LRU victim
+// scan stays inside the same one or two host cache lines, and invalid
+// ways carry a sentinel tag so the hit path needs no validity check.
 package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"ivleague/internal/config"
 	"ivleague/internal/stats"
 	"ivleague/internal/telemetry"
 )
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag     uint64
-	lastUse uint64
-	valid   bool
-	dirty   bool
-	locked  bool
-}
+// invalidTag marks an empty way. Real tags are line addresses
+// (byte address >> lineShift, so at most 2^58 with 64-byte lines) and can
+// never collide with it.
+const invalidTag = ^uint64(0)
 
 // Result describes the outcome of a cache access.
 type Result struct {
@@ -49,7 +54,11 @@ type Result struct {
 // memory model.
 type Cache struct {
 	cfg       config.CacheConfig
-	sets      [][]line
+	ways      int
+	stride    int      // uint64 words per set block (64-byte aligned)
+	luOff     int      // word offset of the packed last-use stamps
+	flagsOff  int      // word offset of the dirty/locked mask word
+	data      []uint64 // nsets * stride words
 	setMask   uint64
 	lineShift uint
 	key       uint64 // randomized-indexing key
@@ -72,10 +81,13 @@ func New(cfg config.CacheConfig, seed uint64, reservedWays int) (*Cache, error) 
 	if reservedWays < 0 || reservedWays >= cfg.Ways {
 		return nil, fmt.Errorf("cache: reservedWays %d must leave at least one normal way of %d", reservedWays, cfg.Ways)
 	}
+	if cfg.Ways > 32 {
+		return nil, fmt.Errorf("cache: %d ways exceed the 32-way bit-mask limit", cfg.Ways)
+	}
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, nsets),
+		ways:     cfg.Ways,
 		setMask:  uint64(nsets - 1),
 		key:      seed ^ 0x9e3779b97f4a7c15,
 		reserved: reservedWays,
@@ -85,9 +97,20 @@ func New(cfg config.CacheConfig, seed uint64, reservedWays int) (*Cache, error) 
 		shift++
 	}
 	c.lineShift = shift
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	c.luOff = c.ways
+	c.flagsOff = c.luOff + (c.ways+1)/2
+	c.stride = c.flagsOff + 1
+	// Round the block up to a whole number of 64-byte lines so sets never
+	// share a host cache line.
+	if r := c.stride % 8; r != 0 {
+		c.stride += 8 - r
+	}
+	c.data = make([]uint64, nsets*c.stride)
+	for set := 0; set < nsets; set++ {
+		base := set * c.stride
+		for w := 0; w < c.ways; w++ {
+			c.data[base+w] = invalidTag
+		}
 	}
 	return c, nil
 }
@@ -109,18 +132,68 @@ func (c *Cache) index(lineAddr uint64) uint64 {
 	return x & c.setMask
 }
 
+// lastUse reads way i's last-use stamp in the set block at base.
+func (c *Cache) lastUse(base, i int) uint64 {
+	return c.data[base+c.luOff+i/2] >> (uint(i&1) * 32) & 0xffffffff
+}
+
+// setLastUse stores way i's last-use stamp in the set block at base.
+func (c *Cache) setLastUse(base, i int, v uint64) {
+	w := &c.data[base+c.luOff+i/2]
+	sh := uint(i&1) * 32
+	*w = *w&^(0xffffffff<<sh) | v<<sh
+}
+
+// tickNext advances the replacement clock. Stamps are stored as uint32, so
+// when the clock reaches the 32-bit ceiling every stored stamp is
+// renumbered by rank — an order-preserving compaction that leaves all
+// future LRU decisions exactly as they would have been with unbounded
+// stamps.
+func (c *Cache) tickNext() uint64 {
+	if c.tick == 1<<32-1 {
+		c.renormalize()
+	}
+	c.tick++
+	return c.tick
+}
+
+func (c *Cache) renormalize() {
+	type stamp struct {
+		base, way int
+		v         uint64
+	}
+	var all []stamp
+	nsets := int(c.setMask) + 1
+	for set := 0; set < nsets; set++ {
+		base := set * c.stride
+		for w := 0; w < c.ways; w++ {
+			if v := c.lastUse(base, w); v != 0 {
+				all = append(all, stamp{base, w, v})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	for rank, s := range all {
+		c.setLastUse(s.base, s.way, uint64(rank)+1)
+	}
+	c.tick = uint64(len(all))
+}
+
 // Access looks up addr (a byte address), filling on a miss. write marks the
 // line dirty on hit or fill.
+//
+//ivlint:hotpath
 func (c *Cache) Access(addr uint64, write bool) Result {
-	c.tick++
+	now := c.tickNext()
 	lineAddr := addr >> c.lineShift
-	set := c.sets[c.index(lineAddr)]
+	base := int(c.index(lineAddr)) * c.stride
+	tags := c.data[base : base+c.ways]
 	res := Result{Latency: c.cfg.HitLatency}
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].lastUse = c.tick
+	for i, t := range tags {
+		if t == lineAddr {
+			c.setLastUse(base, i, now)
 			if write {
-				set[i].dirty = true
+				c.data[base+c.flagsOff] |= 1 << uint(i)
 			}
 			res.Hit = true
 			c.Hits.Inc()
@@ -132,33 +205,41 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	// guarantees reserved < ways, so the first candidate always exists and
 	// victim selection is total.
 	victim := c.reserved
-	for i := c.reserved; i < len(set); i++ {
-		if !set[i].valid {
+	vLU := c.lastUse(base, victim)
+	for i := c.reserved; i < len(tags); i++ {
+		if tags[i] == invalidTag {
 			victim = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
-			victim = i
+		if lu := c.lastUse(base, i); lu < vLU {
+			victim, vLU = i, lu
 		}
 	}
-	if set[victim].valid {
+	flags := &c.data[base+c.flagsOff]
+	dirtyBit := uint64(1) << uint(victim)
+	if tags[victim] != invalidTag {
 		res.Evicted = true
 		c.Evictions.Inc()
-		if set[victim].dirty {
+		if *flags&dirtyBit != 0 {
 			res.EvictedDirty = true
-			res.WritebackAddr = set[victim].tag << c.lineShift
+			res.WritebackAddr = tags[victim] << c.lineShift
 		}
 	}
-	set[victim] = line{tag: lineAddr, lastUse: c.tick, valid: true, dirty: write}
+	tags[victim] = lineAddr
+	c.setLastUse(base, victim, now)
+	*flags &^= dirtyBit | dirtyBit<<32 // clear dirty + locked
+	if write {
+		*flags |= dirtyBit
+	}
 	return res
 }
 
 // Probe reports whether addr is present without changing any state.
 func (c *Cache) Probe(addr uint64) bool {
 	lineAddr := addr >> c.lineShift
-	set := c.sets[c.index(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+	base := int(c.index(lineAddr)) * c.stride
+	for _, t := range c.data[base : base+c.ways] {
+		if t == lineAddr {
 			return true
 		}
 	}
@@ -169,11 +250,14 @@ func (c *Cache) Probe(addr uint64) bool {
 // it was present and whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	lineAddr := addr >> c.lineShift
-	set := c.sets[c.index(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			present, dirty = true, set[i].dirty
-			set[i] = line{}
+	base := int(c.index(lineAddr)) * c.stride
+	for i, t := range c.data[base : base+c.ways] {
+		if t == lineAddr {
+			bit := uint64(1) << uint(i)
+			present, dirty = true, c.data[base+c.flagsOff]&bit != 0
+			c.data[base+i] = invalidTag
+			c.setLastUse(base, i, 0)
+			c.data[base+c.flagsOff] &^= bit | bit<<32
 			return
 		}
 	}
@@ -190,17 +274,19 @@ func (c *Cache) Lock(addr uint64) error {
 	if c.reserved == 0 {
 		return fmt.Errorf("cache: Lock %#x on a cache without reserved ways", addr)
 	}
-	c.tick++
+	now := c.tickNext()
 	lineAddr := addr >> c.lineShift
-	set := c.sets[c.index(lineAddr)]
+	base := int(c.index(lineAddr)) * c.stride
 	for i := 0; i < c.reserved; i++ {
-		if set[i].valid && set[i].tag == lineAddr {
+		if c.data[base+i] == lineAddr {
 			return nil // already locked
 		}
 	}
 	for i := 0; i < c.reserved; i++ {
-		if !set[i].valid {
-			set[i] = line{tag: lineAddr, lastUse: c.tick, valid: true, locked: true}
+		if c.data[base+i] == invalidTag {
+			c.data[base+i] = lineAddr
+			c.setLastUse(base, i, now)
+			c.data[base+c.flagsOff] |= 1 << uint(32+i)
 			return nil
 		}
 	}
@@ -210,12 +296,18 @@ func (c *Cache) Lock(addr uint64) error {
 // Flush invalidates every line, returning the number of dirty lines dropped.
 func (c *Cache) Flush() int {
 	dirty := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+	nsets := int(c.setMask) + 1
+	for set := 0; set < nsets; set++ {
+		base := set * c.stride
+		flags := c.data[base+c.flagsOff]
+		for w := 0; w < c.ways; w++ {
+			if c.data[base+w] != invalidTag && flags&(1<<uint(w)) != 0 {
 				dirty++
 			}
-			c.sets[si][wi] = line{}
+			c.data[base+w] = invalidTag
+		}
+		for w := c.luOff; w < c.stride; w++ {
+			c.data[base+w] = 0
 		}
 	}
 	return dirty
@@ -246,14 +338,14 @@ func (c *Cache) RegisterMetrics(r *telemetry.Registry, prefix string) {
 // Occupancy returns the fraction of lines currently valid.
 func (c *Cache) Occupancy() float64 {
 	valid := 0
-	total := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			total++
-			if c.sets[si][wi].valid {
+	nsets := int(c.setMask) + 1
+	for set := 0; set < nsets; set++ {
+		base := set * c.stride
+		for w := 0; w < c.ways; w++ {
+			if c.data[base+w] != invalidTag {
 				valid++
 			}
 		}
 	}
-	return float64(valid) / float64(total)
+	return float64(valid) / float64(nsets*c.ways)
 }

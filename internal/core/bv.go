@@ -65,7 +65,7 @@ func (c *Controller) bvAlloc(d *Domain, ops *OpList) (SlotID, error) {
 		}
 	}
 	take := func(tl, pos int) (SlotID, error) {
-		bv := d.bv[tl]
+		bv := c.bvStates[tl]
 		bv.set(pos)
 		ops.Write(c.lay.NFLBlockAddr(tl, pos/bitsPerBlock))
 		d.mapped++
@@ -75,7 +75,7 @@ func (c *Controller) bvAlloc(d *Domain, ops *OpList) (SlotID, error) {
 	}
 	// Scan the current TreeLing from its head.
 	cur := d.treelings[d.bvCur]
-	bv := d.bv[cur]
+	bv := c.bvStates[cur]
 	if pos := bv.scan(c.lay, cur, bv.head, ops); pos >= 0 {
 		bv.head = pos + 1
 		return take(cur, pos)
@@ -86,7 +86,7 @@ func (c *Controller) bvAlloc(d *Domain, ops *OpList) (SlotID, error) {
 			if tl == cur {
 				continue
 			}
-			if pos := d.bv[tl].scan(c.lay, tl, 0, ops); pos >= 0 {
+			if pos := c.bvStates[tl].scan(c.lay, tl, 0, ops); pos >= 0 {
 				return take(tl, pos)
 			}
 		}
@@ -95,11 +95,11 @@ func (c *Controller) bvAlloc(d *Domain, ops *OpList) (SlotID, error) {
 		return InvalidSlot, err
 	}
 	tl := d.treelings[d.bvCur]
-	pos := d.bv[tl].scan(c.lay, tl, 0, ops)
+	pos := c.bvStates[tl].scan(c.lay, tl, 0, ops)
 	if pos < 0 {
 		return InvalidSlot, ErrStarvation
 	}
-	d.bv[tl].head = pos + 1
+	c.bvStates[tl].head = pos + 1
 	return take(tl, pos)
 }
 
@@ -111,11 +111,11 @@ func (c *Controller) bvFree(d *Domain, slot SlotID, ops *OpList) {
 	pos := c.bvPos(slot)
 	cur := d.treelings[d.bvCur]
 	if c.mode == ModeBVv1 && tl != cur {
-		d.meta[tl].leaked++
+		c.leakCount[tl]++
 		c.Untracked.Inc()
 		return
 	}
-	bv := d.bv[tl]
+	bv := c.bvStates[tl]
 	bv.clear(pos)
 	ops.Write(c.lay.NFLBlockAddr(tl, pos/bitsPerBlock))
 	if tl == cur && pos < bv.head {

@@ -88,7 +88,7 @@ func TestBasicAllocUsesLeafLevelOnly(t *testing.T) {
 	c.CreateDomain(1)
 	var ops OpList
 	for i := 0; i < 100; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestBasicAllocDistinctSlots(t *testing.T) {
 	seen := map[SlotID]bool{}
 	n := lay.TreeLingPages() + 10 // force a second TreeLing
 	for i := 0; i < n; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,14 +147,14 @@ func TestNFLAllocFreeInvariant(t *testing.T) {
 		c, _ := newCtrl(t, mode, false)
 		c.CreateDomain(1)
 		var ops OpList
-		occupied := map[SlotID]uint64{}
-		bySlot := map[uint64]SlotID{}
+		occupied := map[SlotID]layout.PFN{}
+		bySlot := map[layout.PFN]SlotID{}
 		rng := uint64(12345)
 		next := func(n uint64) uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return (rng >> 33) % n }
 		for i := uint64(0); i < 20000; i++ {
 			if len(bySlot) > 0 && next(3) == 0 {
 				// Free a pseudo-random mapped page.
-				var pfn uint64
+				var pfn layout.PFN
 				k := next(uint64(len(bySlot)))
 				for p := range bySlot {
 					if k == 0 {
@@ -171,7 +171,7 @@ func TestNFLAllocFreeInvariant(t *testing.T) {
 				delete(bySlot, pfn)
 				continue
 			}
-			pfn := i
+			pfn := layout.PFN(i)
 			s, err := c.AllocPage(1, pfn, &ops)
 			if err != nil {
 				t.Fatalf("mode %v: alloc failed at %d: %v", mode, i, err)
@@ -213,7 +213,7 @@ func TestInvertConversionAndResolve(t *testing.T) {
 	pfns := make([]uint64, 0, arity+2)
 	// Fill the root (arity slots), then allocate more to force conversion.
 	for i := 0; i < arity+2; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func TestInvertEffectivePathShorterThanBasic(t *testing.T) {
 		total := 0
 		const pages = 300
 		for i := 0; i < pages; i++ {
-			s, err := c.AllocPage(1, uint64(i), &ops)
+			s, err := c.AllocPage(1, layout.PFN(i), &ops)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -317,8 +317,8 @@ func TestProLazyReclaimWhenHotRegionFull(t *testing.T) {
 	c.CreateDomain(1)
 	var ops OpList
 	const pages = 9 // one more than τhot capacity
-	slots := map[uint64]SlotID{}
-	for p := uint64(0); p < pages; p++ {
+	slots := map[layout.PFN]SlotID{}
+	for p := layout.PFN(0); p < pages; p++ {
 		s, err := c.AllocPage(1, p, &ops)
 		if err != nil {
 			t.Fatal(err)
@@ -328,7 +328,7 @@ func TestProLazyReclaimWhenHotRegionFull(t *testing.T) {
 	// Round-robin accesses: the migration engine (rate-limited) fills all
 	// 8 τhot slots, then the 9th migration must lazily reclaim one.
 	for i := 0; i < 400; i++ {
-		p := uint64(i % pages)
+		p := layout.PFN(i % pages)
 		ns, migrated := c.OnAccess(1, p, slots[p], &ops)
 		if migrated {
 			slots[p] = ns
@@ -352,7 +352,7 @@ func TestProHotRegionExcludedFromRegularAlloc(t *testing.T) {
 	// Allocate a full TreeLing worth of pages; none may land in τhot.
 	n := lay.TreeLingSlots() / 2
 	for i := 0; i < n; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			break
 		}
@@ -371,7 +371,7 @@ func TestStarvationReported(t *testing.T) {
 	total := lay.TreeLingPages() * 32 // all TreeLings
 	var err error
 	for i := 0; i <= total; i++ {
-		_, err = c.AllocPage(1, uint64(i), &ops)
+		_, err = c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			break
 		}
@@ -393,7 +393,7 @@ func TestBVv1LeaksCrossTreeLingFrees(t *testing.T) {
 	n := lay.TreeLingPages()
 	slots := make([]SlotID, 0, n+1)
 	for i := 0; i <= n; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -407,7 +407,7 @@ func TestBVv1LeaksCrossTreeLingFrees(t *testing.T) {
 		t.Fatal("BV-v1 cross-TreeLing free was not leaked")
 	}
 	// The freed slot must NOT be reused.
-	s, err := c.AllocPage(1, uint64(n+5), &ops)
+	s, err := c.AllocPage(1, layout.PFN(n+5), &ops)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +423,7 @@ func TestBVv2ReusesCrossTreeLingFrees(t *testing.T) {
 	n := lay.TreeLingPages()
 	slots := make([]SlotID, 0, n+1)
 	for i := 0; i <= n; i++ {
-		s, err := c.AllocPage(1, uint64(i), &ops)
+		s, err := c.AllocPage(1, layout.PFN(i), &ops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -433,12 +433,12 @@ func TestBVv2ReusesCrossTreeLingFrees(t *testing.T) {
 	c.FreePage(1, 0, first, &ops)
 	// Fill the second TreeLing so the cross-TreeLing search kicks in.
 	for i := n + 1; i < 2*n; i++ {
-		if _, err := c.AllocPage(1, uint64(i), &ops); err != nil {
+		if _, err := c.AllocPage(1, layout.PFN(i), &ops); err != nil {
 			t.Fatal(err)
 		}
 	}
 	ops.Reset()
-	s, err := c.AllocPage(1, uint64(2*n+5), &ops)
+	s, err := c.AllocPage(1, layout.PFN(2*n+5), &ops)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +464,7 @@ func TestBVMoreExpensiveThanNFL(t *testing.T) {
 		var ops OpList
 		n := lay.TreeLingPages() * 3 / 2
 		for i := 0; i < n; i++ {
-			if _, err := c.AllocPage(1, uint64(i), &ops); err != nil {
+			if _, err := c.AllocPage(1, layout.PFN(i), &ops); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -486,7 +486,7 @@ func TestNFLBHitRateHighForSequentialAlloc(t *testing.T) {
 	c.CreateDomain(1)
 	var ops OpList
 	for i := 0; i < lay.TreeLingPages(); i++ {
-		c.AllocPage(1, uint64(i), &ops)
+		c.AllocPage(1, layout.PFN(i), &ops)
 		ops.Reset()
 	}
 	if hr := c.NFLBOf(1).HitRate(); hr < 0.9 {
@@ -525,7 +525,7 @@ func TestFunctionalForestTracksConversions(t *testing.T) {
 	// Force conversion of the root slots.
 	arity := lay.Arity
 	for i := 1; i <= arity+1; i++ {
-		if _, err := c.AllocPage(1, uint64(i), &ops); err != nil {
+		if _, err := c.AllocPage(1, layout.PFN(i), &ops); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -31,7 +31,7 @@ var ErrStarvation = errors.New("core: TreeLing starvation")
 // LeafUpdater receives out-of-band leaf re-mappings (IvLeague-Pro hotpage
 // migration updates a page's LMM without the page being accessed).
 type LeafUpdater interface {
-	UpdateLeaf(domainID int, pfn uint64, slot SlotID)
+	UpdateLeaf(domainID int, pfn layout.PFN, slot SlotID)
 }
 
 // Controller is the IV Domain Controller: it owns the Unassigned-TreeLing
@@ -49,6 +49,20 @@ type Controller struct {
 	fifoHead   int
 	domains    map[int]*Domain
 
+	// Per-TreeLing metadata lives in controller-level flat arenas indexed
+	// by TreeLing ID: the parent (ρ) and occupied bitmaps are one byte per
+	// node in a single contiguous allocation, and tlDom records the owning
+	// domain (-1 = unassigned). This preserves the semantics of the old
+	// per-domain map — a slot naming a TreeLing the domain does not own
+	// (possible only through a corrupted LMM entry) finds no metadata —
+	// while keeping the per-access bookkeeping free of map lookups.
+	nodesPerTL int
+	tlDom      []int
+	parentBits []uint8
+	occBits    []uint8
+	leakCount  []int32
+	bvStates   []*bvState
+
 	// Statistics used by the evaluation figures.
 	Assignments    stats.Counter // TreeLing→domain assignments
 	Untracked      stats.Counter // slots leaked by NFL in-place tracking
@@ -64,19 +78,20 @@ type Domain struct {
 	treelings []int // assignment order
 	space     *nflSpace
 	hotSpace  *nflSpace
-	meta      map[int]*tlMeta
-	bv        map[int]*bvState
 	bvCur     int // BV modes: index of the active TreeLing
 	nflb      *NFLB
 	hot       *hotTracker
-	hotPages  map[uint64]SlotID // pfn → τhot slot
-	hotOrder  []uint64          // migration order (FIFO reclaim)
-	sinceMig  uint64            // accesses since the last migration
+	hotPages  *hotPageTable // pfn → τhot slot (Pro only)
+	hotOrder  []layout.PFN  // migration order (FIFO reclaim); head at hotHead
+	hotHead   int
+	sinceMig  uint64 // accesses since the last migration
 	mapped    uint64
 }
 
-// tlMeta is per-assigned-TreeLing bookkeeping: which slots are converted
-// to parent slots (ρ) and which are occupied by a page mapping.
+// tlMeta is the persist-image form of one TreeLing's bookkeeping: which
+// slots are converted to parent slots (ρ) and which are occupied by a page
+// mapping. The live controller keeps this state in its flat arenas; the
+// crash image (recover.go) snapshots it per TreeLing in this shape.
 type tlMeta struct {
 	parent   []uint8 // per-node bitmask of parent slots
 	occupied []uint8 // per-node bitmask of page-mapped slots
@@ -93,18 +108,45 @@ func NewController(cfg *config.Config, lay *layout.Layout, mode Mode, forest *tr
 		return nil, fmt.Errorf("core: unknown mode %d", mode)
 	}
 	c := &Controller{
-		mode:    mode,
-		lay:     lay,
-		cfg:     cfg.IvLeague,
-		arity:   cfg.SecureMem.TreeArity,
-		forest:  forest,
-		domains: make(map[int]*Domain),
+		mode:       mode,
+		lay:        lay,
+		cfg:        cfg.IvLeague,
+		arity:      cfg.SecureMem.TreeArity,
+		forest:     forest,
+		domains:    make(map[int]*Domain),
+		nodesPerTL: lay.NodesPerTreeLing,
+		tlDom:      make([]int, lay.TreeLingCount),
+		parentBits: make([]uint8, lay.TreeLingCount*lay.NodesPerTreeLing),
+		occBits:    make([]uint8, lay.TreeLingCount*lay.NodesPerTreeLing),
+		leakCount:  make([]int32, lay.TreeLingCount),
+		bvStates:   make([]*bvState, lay.TreeLingCount),
+	}
+	for i := range c.tlDom {
+		c.tlDom[i] = -1
 	}
 	c.unassigned = make([]int, lay.TreeLingCount)
 	for i := range c.unassigned {
 		c.unassigned[i] = i
 	}
 	return c, nil
+}
+
+// ownsTL reports whether TreeLing tl is currently assigned to domain d.
+// Out-of-range IDs (reachable only via a corrupted LMM entry) are foreign.
+func (c *Controller) ownsTL(d *Domain, tl int) bool {
+	return tl >= 0 && tl < len(c.tlDom) && c.tlDom[tl] == d.id
+}
+
+// parentOf returns TreeLing tl's per-node parent-slot (ρ) bitmap.
+func (c *Controller) parentOf(tl int) []uint8 {
+	base := tl * c.nodesPerTL
+	return c.parentBits[base : base+c.nodesPerTL]
+}
+
+// occupiedOf returns TreeLing tl's per-node occupied bitmap.
+func (c *Controller) occupiedOf(tl int) []uint8 {
+	base := tl * c.nodesPerTL
+	return c.occBits[base : base+c.nodesPerTL]
 }
 
 // SetLeafUpdater installs the out-of-band LMM update callback.
@@ -118,6 +160,9 @@ func (c *Controller) FreeTreeLings() int { return len(c.unassigned) - c.fifoHead
 
 // CreateDomain registers a new IV domain.
 func (c *Controller) CreateDomain(id int) (*Domain, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("core: domain id %d must be non-negative", id)
+	}
 	if _, ok := c.domains[id]; ok {
 		return nil, fmt.Errorf("core: domain %d already exists", id)
 	}
@@ -127,14 +172,12 @@ func (c *Controller) CreateDomain(id int) (*Domain, error) {
 	d := &Domain{
 		id:    id,
 		space: newNFLSpace(c.cfg.NFLEntriesPerBlock),
-		meta:  make(map[int]*tlMeta),
-		bv:    make(map[int]*bvState),
 		nflb:  newNFLB(c.cfg.NFLBEntries),
 	}
 	if c.mode == ModePro {
 		d.hotSpace = newNFLSpace(c.cfg.NFLEntriesPerBlock)
 		d.hot = newHotTracker(c.cfg.HotTrackerEntries, c.cfg.HotCounterBits, c.cfg.HotThreshold, c.cfg.HotClearInterval)
-		d.hotPages = make(map[uint64]SlotID)
+		d.hotPages = &hotPageTable{}
 	}
 	c.domains[id] = d
 	return d, nil
@@ -153,6 +196,8 @@ func (c *Controller) DestroyDomain(id int, ops *OpList) error {
 		if c.forest != nil {
 			c.forest.ResetTreeLing(tl)
 		}
+		c.tlDom[tl] = -1
+		c.bvStates[tl] = nil
 		c.recycle(tl)
 	}
 	delete(c.domains, id)
@@ -277,15 +322,22 @@ func (c *Controller) assignTreeLing(d *Domain, ops *OpList) error {
 		return ErrStarvation
 	}
 	c.Assignments.Inc()
+	//ivlint:allow hotalloc — per-TreeLing-assignment event, not per access; bounded by the domain's footprint
 	d.treelings = append(d.treelings, tl)
-	d.meta[tl] = &tlMeta{
-		parent:   make([]uint8, c.lay.NodesPerTreeLing),
-		occupied: make([]uint8, c.lay.NodesPerTreeLing),
+	c.tlDom[tl] = d.id
+	parent, occupied := c.parentOf(tl), c.occupiedOf(tl)
+	for i := range parent {
+		parent[i] = 0
 	}
+	for i := range occupied {
+		occupied[i] = 0
+	}
+	c.leakCount[tl] = 0
 	if c.mode == ModeBVv1 || c.mode == ModeBVv2 {
-		d.bv[tl] = newBVState(c.lay)
+		bv := newBVState(c.lay)
+		c.bvStates[tl] = bv
 		d.bvCur = len(d.treelings) - 1
-		for b := 0; b < d.bv[tl].nBlocks; b++ {
+		for b := 0; b < bv.nBlocks; b++ {
 			ops.Write(c.lay.NFLBlockAddr(tl, b))
 		}
 		return nil
@@ -306,17 +358,25 @@ func (c *Controller) assignTreeLing(d *Domain, ops *OpList) error {
 		for b := 0; b < hr.nBlocks; b++ {
 			ops.Write(c.lay.NFLBlockAddr(tl, r.nBlocks+b))
 		}
-		// Pre-convert the parent slots covering the hot nodes so Invert
-		// allocation never hands them out as page slots.
-		m := d.meta[tl]
+		// Pre-convert the full parent chain covering each hot node, up to
+		// the TreeLing root, so Invert allocation never hands any slot on
+		// a τhot verification path out as a page slot. Stopping at the
+		// immediate parents would let a page occupy the root slot over a
+		// hot subtree; the first hotpage migration's rehash would then
+		// overwrite that page's hash with a node hash (the strict
+		// top-down fill assumed by Figure 12 is bypassed under τhot, so
+		// the chain must be rooted eagerly, while the TreeLing is empty).
 		for _, hn := range hot {
-			p, slot, okp := c.lay.Parent(hn)
-			if !okp {
-				continue
+			for node := hn; ; {
+				p, slot, okp := c.lay.Parent(node)
+				if !okp || parent[p]&(1<<uint(slot)) != 0 {
+					break // root reached, or shared ancestor already converted
+				}
+				parent[p] |= 1 << uint(slot)
+				d.space.clearSlotAnywhere(packTag(tl, p), slot)
+				c.Conversions.Inc()
+				node = p
 			}
-			m.parent[p] |= 1 << uint(slot)
-			d.space.clearSlotAnywhere(packTag(tl, p), slot)
-			c.Conversions.Inc()
 		}
 	}
 	return nil
@@ -326,7 +386,7 @@ func (c *Controller) assignTreeLing(d *Domain, ops *OpList) error {
 // extending the domain with a fresh TreeLing when the NFL frontier is
 // exhausted. The returned SlotID must be stored in the page's extended PTE
 // (the LMM) by the caller.
-func (c *Controller) AllocPage(domainID int, pfn uint64, ops *OpList) (SlotID, error) {
+func (c *Controller) AllocPage(domainID int, pfn layout.PFN, ops *OpList) (SlotID, error) {
 	d := c.domains[domainID]
 	if d == nil {
 		return InvalidSlot, fmt.Errorf("core: unknown domain %d", domainID)
@@ -376,7 +436,7 @@ func (c *Controller) allocSlot(d *Domain, ops *OpList) (SlotID, error) {
 			// the occupied bitmap are redundant views of the same state, so
 			// an availability bit naming an occupied slot means the NFL
 			// image in memory was tampered with (a stale or flipped entry).
-			if m := d.meta[tl]; m != nil && m.occupied[node]&(1<<uint(slot)) != 0 {
+			if c.ownsTL(d, tl) && c.occupiedOf(tl)[node]&(1<<uint(slot)) != 0 {
 				return InvalidSlot, &tree.IntegrityError{
 					Class:    tree.ViolationNFL,
 					Domain:   d.id,
@@ -410,23 +470,23 @@ func (c *Controller) nflBlockAddr(tl, block int) uint64 {
 // corrupted LMM entry) is ignored: tamper must surface as a verification
 // error, never as a crash.
 func (c *Controller) markOccupied(d *Domain, slot SlotID) {
-	if m := d.meta[slot.TreeLing()]; m != nil {
-		m.occupied[slot.Node()] |= 1 << uint(slot.Slot())
+	if tl := slot.TreeLing(); c.ownsTL(d, tl) {
+		c.occupiedOf(tl)[slot.Node()] |= 1 << uint(slot.Slot())
 	}
 }
 
 // clearOccupied removes a page mapping record (tolerating foreign
 // TreeLings like markOccupied).
 func (c *Controller) clearOccupied(d *Domain, slot SlotID) {
-	if m := d.meta[slot.TreeLing()]; m != nil {
-		m.occupied[slot.Node()] &^= 1 << uint(slot.Slot())
+	if tl := slot.TreeLing(); c.ownsTL(d, tl) {
+		c.occupiedOf(tl)[slot.Node()] &^= 1 << uint(slot.Slot())
 	}
 }
 
 // leakSlot accounts an untrackable slot deallocation.
 func (c *Controller) leakSlot(d *Domain, tl int) {
-	if m := d.meta[tl]; m != nil {
-		m.leaked++
+	if c.ownsTL(d, tl) {
+		c.leakCount[tl]++
 	}
 	c.Untracked.Inc()
 }
@@ -435,7 +495,7 @@ func (c *Controller) leakSlot(d *Domain, tl int) {
 // tracking algorithm of Figure 8. Slots that cannot be re-tracked are
 // leaked and counted (Figure 17b's "untracked TreeLing slots"). The slot
 // must be the page's *effective* slot (after Resolve under Invert).
-func (c *Controller) FreePage(domainID int, pfn uint64, slot SlotID, ops *OpList) error {
+func (c *Controller) FreePage(domainID int, pfn layout.PFN, slot SlotID, ops *OpList) error {
 	d := c.domains[domainID]
 	if d == nil {
 		return fmt.Errorf("core: unknown domain %d", domainID)
@@ -452,12 +512,17 @@ func (c *Controller) FreePage(domainID int, pfn uint64, slot SlotID, ops *OpList
 		c.bvFree(d, slot, ops)
 		return nil
 	}
-	if c.mode == ModePro && c.isHotNode(slot.Node()) {
+	if c.mode == ModePro {
+		// Drop the τhot residency record unconditionally: a ρ-conversion
+		// can relocate a resident's hash into the regular region, and a
+		// record left behind would later migrate the freed frame's slot.
 		// The tracker is region-keyed; the region entry stays (other
 		// pages of the region may still be hot).
-		delete(d.hotPages, pfn)
-		c.releaseHot(d, slot, ops)
-		return nil
+		d.hotPages.del(pfn)
+		if c.isHotNode(slot.Node()) {
+			c.releaseHot(d, slot, ops)
+			return nil
+		}
 	}
 	c.releaseRegular(d, slot, ops)
 	return nil
@@ -550,8 +615,8 @@ func (c *Controller) Utilization() (util float64, untracked int) {
 	for _, id := range stats.SortedKeys(c.domains) {
 		d := c.domains[id]
 		for _, tl := range d.treelings {
-			leaked += d.meta[tl].leaked
-			if bv := d.bv[tl]; bv != nil {
+			leaked += int(c.leakCount[tl])
+			if bv := c.bvStates[tl]; bv != nil {
 				totalSlots += bv.slots
 			}
 		}
@@ -655,13 +720,13 @@ func (c *Controller) TamperNFLAvail(domainID int, set bool, pick uint64) (tl, no
 					continue
 				}
 				etl, enode := unpackTag(e.tag)
-				m := d.meta[etl]
-				if m == nil {
+				if !c.ownsTL(d, etl) {
 					continue
 				}
+				occ := c.occupiedOf(etl)
 				for s := 0; s < c.arity; s++ {
 					bit := uint8(1) << uint(s)
-					occupied := m.occupied[enode]&bit != 0
+					occupied := occ[enode]&bit != 0
 					avail := e.avail&bit != 0
 					if (set && occupied && !avail) || (!set && avail) {
 						cands = append(cands, cand{e, s, etl, enode})

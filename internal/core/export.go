@@ -23,7 +23,7 @@ func (c *Controller) WriteVolatileDigest(w io.Writer) {
 	for _, id := range stats.SortedKeys(c.domains) {
 		d := c.domains[id]
 		fmt.Fprintf(w, "vol domain %d bvcur=%d sincemig=%d hotorder=%v\n",
-			id, d.bvCur, d.sinceMig, d.hotOrder)
+			id, d.bvCur, d.sinceMig, d.hotOrder[d.hotHead:])
 		writeSpaceFrontier(w, "nfl", d.space)
 		writeSpaceFrontier(w, "hotnfl", d.hotSpace)
 		for _, e := range d.nflb.entries {

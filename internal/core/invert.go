@@ -11,12 +11,13 @@ func (c *Controller) ensureParentConverted(d *Domain, tl, node int, ops *OpList)
 	if !ok {
 		return // TreeLing root: verified against the on-chip locked level
 	}
-	m := d.meta[tl]
-	if m.parent[p]&(1<<uint(pslot)) != 0 {
+	parent := c.parentOf(tl)
+	if parent[p]&(1<<uint(pslot)) != 0 {
 		return // already a parent slot
 	}
 	c.ensureParentConverted(d, tl, p, ops)
-	if m.occupied[p]&(1<<uint(pslot)) != 0 {
+	occupied := c.occupiedOf(tl)
+	if occupied[p]&(1<<uint(pslot)) != 0 {
 		// ❶ Relocate the occupying page's hash into the first slot of the
 		// child node; the page's LMM stays stale and is fixed lazily on
 		// its next access (Resolve). The parent's content is available
@@ -28,21 +29,35 @@ func (c *Controller) ensureParentConverted(d *Domain, tl, node int, ops *OpList)
 			h := c.forest.Slot(tl, p, pslot)
 			c.forest.SetSlot(tl, node, 0, h)
 		}
-		m.occupied[node] |= 1
-		m.occupied[p] &^= 1 << uint(pslot)
+		occupied[node] |= 1
+		occupied[p] &^= 1 << uint(pslot)
 		// Slot 0 of node is consumed by the relocated page.
-		d.space.clearSlotAnywhere(packTag(tl, node), 0)
+		c.consumeSlot(d, tl, node, 0)
 	} else {
 		// The parent slot was free: consuming it as a parent just removes
 		// it from availability tracking.
-		d.space.clearSlotAnywhere(packTag(tl, p), pslot)
+		c.consumeSlot(d, tl, p, pslot)
 	}
 	// ❷ Mark the parent slot as ρ=1. Its hash content becomes the child
 	// node's hash, which the functional forest maintains on the next
 	// SetSlot along this path; the flag update itself is a node write.
-	m.parent[p] |= 1 << uint(pslot)
+	parent[p] |= 1 << uint(pslot)
 	ops.Write(c.lay.TreeLingNodeAddr(tl, p))
 	c.Conversions.Inc()
+}
+
+// consumeSlot removes (tl, node, slot) from whichever availability space
+// tracks it. Under Pro the parents of the topmost regular nodes are τhot
+// nodes, so a conversion can consume a slot tracked by the hot NFL; if it
+// were left behind there, migrateToHot would later hand the same slot to
+// a hotpage and overwrite a parent link (or a relocated page's hash).
+func (c *Controller) consumeSlot(d *Domain, tl, node, slot int) {
+	if d.space.clearSlotAnywhere(packTag(tl, node), slot) {
+		return
+	}
+	if d.hotSpace != nil {
+		d.hotSpace.clearSlotAnywhere(packTag(tl, node), slot)
+	}
 }
 
 // Resolve follows a (possibly stale) LMM slot through converted parent
@@ -52,18 +67,21 @@ func (c *Controller) ensureParentConverted(d *Domain, tl, node int, ops *OpList)
 // changed (the caller then refreshes the LMM/PTE). The chain nodes are
 // ancestors of the final slot, so their reads are charged by the
 // verification walk itself, not here.
+//
+//ivlint:hotpath
 func (c *Controller) Resolve(domainID int, slot SlotID) (SlotID, bool) {
 	d := c.domains[domainID]
 	if d == nil || slot == InvalidSlot {
 		return slot, false
 	}
-	m := d.meta[slot.TreeLing()]
-	if m == nil {
+	tl := slot.TreeLing()
+	if !c.ownsTL(d, tl) {
 		return slot, false
 	}
+	parent := c.parentOf(tl)
 	node, sl := slot.Node(), slot.Slot()
 	changed := false
-	for m.parent[node]&(1<<uint(sl)) != 0 {
+	for parent[node]&(1<<uint(sl)) != 0 {
 		child, ok := c.lay.Child(node, sl)
 		if !ok {
 			break // leaf slots cannot be parents; defensive
@@ -74,7 +92,7 @@ func (c *Controller) Resolve(domainID int, slot SlotID) (SlotID, bool) {
 	if !changed {
 		return slot, false
 	}
-	return MakeSlot(slot.TreeLing(), node, sl), true
+	return MakeSlot(tl, node, sl), true
 }
 
 // IsParentSlot reports whether the given slot has been converted (used by
@@ -84,11 +102,11 @@ func (c *Controller) IsParentSlot(domainID int, slot SlotID) bool {
 	if d == nil {
 		return false
 	}
-	m := d.meta[slot.TreeLing()]
-	if m == nil {
+	tl := slot.TreeLing()
+	if !c.ownsTL(d, tl) {
 		return false
 	}
-	return m.parent[slot.Node()]&(1<<uint(slot.Slot())) != 0
+	return c.parentOf(tl)[slot.Node()]&(1<<uint(slot.Slot())) != 0
 }
 
 // IsOccupied reports whether the given slot currently verifies a page.
@@ -97,9 +115,9 @@ func (c *Controller) IsOccupied(domainID int, slot SlotID) bool {
 	if d == nil {
 		return false
 	}
-	m := d.meta[slot.TreeLing()]
-	if m == nil {
+	tl := slot.TreeLing()
+	if !c.ownsTL(d, tl) {
 		return false
 	}
-	return m.occupied[slot.Node()]&(1<<uint(slot.Slot())) != 0
+	return c.occupiedOf(tl)[slot.Node()]&(1<<uint(slot.Slot())) != 0
 }

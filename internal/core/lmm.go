@@ -3,6 +3,7 @@ package core
 import (
 	"ivleague/internal/cache"
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/telemetry"
 )
 
@@ -24,19 +25,21 @@ func NewLMMCache(cfg config.CacheConfig, seed uint64) (*LMMCache, error) {
 	return &LMMCache{c: c}, nil
 }
 
-func lmmAddr(domain int, vpn uint64) uint64 {
-	return (vpn | uint64(domain)<<36) << config.BlockShift
+func lmmAddr(domain int, vpn layout.VPN) uint64 {
+	return (uint64(vpn) | uint64(domain)<<36) << config.BlockShift
 }
 
 // Access looks the mapping up, filling on a miss (the caller charges the
 // PTE memory read on a miss). write marks the entry dirty (LMM update).
-func (l *LMMCache) Access(domain int, vpn uint64, write bool) (hit bool) {
+//
+//ivlint:hotpath
+func (l *LMMCache) Access(domain int, vpn layout.VPN, write bool) (hit bool) {
 	return l.c.Access(lmmAddr(domain, vpn), write).Hit
 }
 
 // Invalidate drops the entry for (domain, vpn); called on TLB eviction to
 // keep the structures consistent (Section VI-C2).
-func (l *LMMCache) Invalidate(domain int, vpn uint64) {
+func (l *LMMCache) Invalidate(domain int, vpn layout.VPN) {
 	l.c.Invalidate(lmmAddr(domain, vpn))
 }
 

@@ -61,6 +61,7 @@ func (s *nflSpace) addRegion(tl int, tracked []int32, initAvail uint8, blockBase
 			r.entries[i] = nflEntry{tag: -1}
 		}
 	}
+	//ivlint:allow hotalloc — NFL region materialization: one per frontier advance, bounded by tracked nodes
 	s.regions = append(s.regions, r)
 	return r
 }

@@ -1,17 +1,28 @@
 package core
 
+import "ivleague/internal/layout"
+
 // hotTracker is the per-domain n-entry access-frequency table integrated
 // into the memory controller (Figure 14a). Entries are scanned linearly
 // for replacement, which is deterministic and matches the "replace the
-// entry with the smallest counter" policy.
+// entry with the smallest counter" policy. Lookups scan a dense key array
+// (keys[i] mirrors entries[i].pfn, with an all-ones sentinel for invalid
+// entries) instead of a map: the table is small enough — tens of entries —
+// that the scan beats a hash lookup and keeps the access path free of map
+// traffic.
 type hotTracker struct {
 	entries  []hotEntry
-	index    map[uint64]int // pfn → entry index
-	max      uint32         // counter saturation value
+	keys     []uint64 // entries[i].pfn when valid, noKey otherwise
+	max      uint32   // counter saturation value
 	thresh   uint32
 	interval uint64
 	accesses uint64
 }
+
+// noKey marks an invalid tracker entry in the key scan array. Tracker keys
+// are region numbers (PFN >> HotRegionPagesLog2), which can never reach
+// the all-ones value.
+const noKey = ^uint64(0)
 
 type hotEntry struct {
 	pfn   uint64
@@ -23,13 +34,27 @@ func newHotTracker(n, counterBits int, thresh uint32, interval uint64) *hotTrack
 	if n <= 0 {
 		panic("core: hot tracker needs at least one entry")
 	}
-	return &hotTracker{
+	t := &hotTracker{
 		entries:  make([]hotEntry, n),
-		index:    make(map[uint64]int, n),
+		keys:     make([]uint64, n),
 		max:      1<<uint(counterBits) - 1,
 		thresh:   thresh,
 		interval: interval,
 	}
+	for i := range t.keys {
+		t.keys[i] = noKey
+	}
+	return t
+}
+
+// find returns the index of the valid entry tracking key, or -1.
+func (t *hotTracker) find(key uint64) int {
+	for i, k := range t.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
 }
 
 // observe records an access to pfn. It returns:
@@ -45,7 +70,7 @@ func (t *hotTracker) observe(pfn uint64) (hot bool, victim uint64) {
 			t.entries[i].count = 0
 		}
 	}
-	if i, ok := t.index[pfn]; ok {
+	if i := t.find(pfn); i >= 0 {
 		e := &t.entries[i]
 		if e.count < t.max {
 			e.count++
@@ -72,25 +97,104 @@ func (t *hotTracker) observe(pfn uint64) (hot bool, victim uint64) {
 			return false, victim // newcomer not admitted this time
 		}
 		victim = t.entries[slot].pfn
-		delete(t.index, victim)
 	}
 	t.entries[slot] = hotEntry{pfn: pfn, count: 1, valid: true}
-	t.index[pfn] = slot
+	t.keys[slot] = pfn
 	return t.thresh == 1, victim
 }
 
 // remove drops pfn from the tracker (page freed).
 func (t *hotTracker) remove(pfn uint64) {
-	if i, ok := t.index[pfn]; ok {
+	if i := t.find(pfn); i >= 0 {
 		t.entries[i] = hotEntry{}
-		delete(t.index, pfn)
+		t.keys[i] = noKey
 	}
 }
 
 // contains reports whether pfn is currently tracked.
 func (t *hotTracker) contains(pfn uint64) bool {
-	_, ok := t.index[pfn]
-	return ok
+	return t.find(pfn) >= 0
+}
+
+// atThreshold reports whether key's counter has reached the hot threshold.
+func (t *hotTracker) atThreshold(key uint64) bool {
+	if i := t.find(key); i >= 0 {
+		return t.entries[i].count >= t.thresh
+	}
+	return false
+}
+
+// hotPageTable maps PFN → τhot slot as a grown-dense slice: the frame
+// allocator hands out PFNs densely from the bottom of the data region, so
+// a pfn-indexed slice with an InvalidSlot sentinel replaces the old
+// map[uint64]SlotID without its per-migration heap and hash traffic.
+type hotPageTable struct {
+	slots []SlotID // pfn-indexed; InvalidSlot = not resident
+	n     int
+}
+
+// get returns pfn's τhot slot, if resident.
+func (h *hotPageTable) get(pfn layout.PFN) (SlotID, bool) {
+	if uint64(pfn) >= uint64(len(h.slots)) || h.slots[pfn] == InvalidSlot {
+		return InvalidSlot, false
+	}
+	return h.slots[pfn], true
+}
+
+// set records pfn as resident in slot s, growing the table on demand.
+func (h *hotPageTable) set(pfn layout.PFN, s SlotID) {
+	for uint64(len(h.slots)) <= uint64(pfn) {
+		//ivlint:allow hotalloc — hot-page table grows to the domain's PFN range, then quiesces
+		h.slots = append(h.slots, InvalidSlot)
+	}
+	if h.slots[pfn] == InvalidSlot {
+		h.n++
+	}
+	h.slots[pfn] = s
+}
+
+// del drops pfn's residency record, if any.
+func (h *hotPageTable) del(pfn layout.PFN) {
+	if uint64(pfn) < uint64(len(h.slots)) && h.slots[pfn] != InvalidSlot {
+		h.slots[pfn] = InvalidSlot
+		h.n--
+	}
+}
+
+// forEach visits the resident pages in ascending PFN order — the canonical
+// enumeration the state digest and the persist image rely on.
+func (h *hotPageTable) forEach(fn func(pfn layout.PFN, s SlotID)) {
+	for pfn, s := range h.slots {
+		if s != InvalidSlot {
+			fn(layout.PFN(pfn), s)
+		}
+	}
+}
+
+// hotQueueLen returns the number of pages in the migration FIFO.
+func (d *Domain) hotQueueLen() int { return len(d.hotOrder) - d.hotHead }
+
+// hotQueuePush appends pfn to the migration FIFO, compacting the backing
+// array in place (no allocation) when the popped head space can be reused.
+func (d *Domain) hotQueuePush(pfn layout.PFN) {
+	if len(d.hotOrder) == cap(d.hotOrder) && d.hotHead > 0 {
+		n := copy(d.hotOrder, d.hotOrder[d.hotHead:])
+		d.hotOrder = d.hotOrder[:n]
+		d.hotHead = 0
+	}
+	//ivlint:allow hotalloc — FIFO ring compacts in place above; capacity stops growing at the τhot size
+	d.hotOrder = append(d.hotOrder, pfn)
+}
+
+// hotQueuePop removes and returns the FIFO head.
+func (d *Domain) hotQueuePop() layout.PFN {
+	pfn := d.hotOrder[d.hotHead]
+	d.hotHead++
+	if d.hotHead == len(d.hotOrder) {
+		d.hotOrder = d.hotOrder[:0]
+		d.hotHead = 0
+	}
+	return pfn
 }
 
 // OnAccess feeds the IvLeague-Pro hotpage machinery with one page access.
@@ -99,7 +203,9 @@ func (t *hotTracker) contains(pfn uint64) bool {
 // the regular region. The page's (possibly new) verification slot is
 // returned; migrated reports whether the caller must refresh the LMM/PTE.
 // For non-Pro modes this is a no-op.
-func (c *Controller) OnAccess(domainID int, pfn uint64, slot SlotID, ops *OpList) (SlotID, bool) {
+//
+//ivlint:hotpath
+func (c *Controller) OnAccess(domainID int, pfn layout.PFN, slot SlotID, ops *OpList) (SlotID, bool) {
 	if c.mode != ModePro {
 		return slot, false
 	}
@@ -109,14 +215,14 @@ func (c *Controller) OnAccess(domainID int, pfn uint64, slot SlotID, ops *OpList
 	}
 	// Region-granular tracking: the tracker counts accesses per region;
 	// once a region is hot, each of its pages migrates on its next access.
-	region := pfn >> uint(c.cfg.HotRegionPagesLog2)
+	region := uint64(pfn) >> uint(c.cfg.HotRegionPagesLog2)
 	hot, _ := d.hot.observe(region)
 	d.sinceMig++
 	// The migration engine is rate-limited (one relocation per several
 	// memory-controller accesses) so τhot residency favours genuinely
 	// recurring regions instead of thrashing on one-shot traffic.
 	if (hot || d.hot.atThreshold(region)) && d.sinceMig >= 8 {
-		if _, already := d.hotPages[pfn]; !already && !c.isHotNode(slot.Node()) {
+		if _, already := d.hotPages.get(pfn); !already && !c.isHotNode(slot.Node()) {
 			if ns, ok := c.migrateToHot(d, pfn, slot, ops); ok {
 				d.sinceMig = 0
 				return ns, true
@@ -126,30 +232,36 @@ func (c *Controller) OnAccess(domainID int, pfn uint64, slot SlotID, ops *OpList
 	return slot, false
 }
 
-// atThreshold reports whether key's counter has reached the hot threshold.
-func (t *hotTracker) atThreshold(key uint64) bool {
-	if i, ok := t.index[key]; ok {
-		return t.entries[i].count >= t.thresh
-	}
-	return false
-}
-
 // reclaimHot migrates the oldest τhot resident that is no longer tracked
 // back to the regular region, freeing a hot slot. Reclamation is lazy —
 // pages stay in τhot after leaving the tracker until the region fills —
 // which keeps τhot near capacity and maximizes the hotpage acceleration.
 func (c *Controller) reclaimHot(d *Domain, ops *OpList) bool {
 	requeued := 0
-	for len(d.hotOrder) > 0 && requeued <= len(d.hotOrder) {
-		pfn := d.hotOrder[0]
-		d.hotOrder = d.hotOrder[1:]
-		slot, ok := d.hotPages[pfn]
+	for d.hotQueueLen() > 0 && requeued <= d.hotQueueLen() {
+		pfn := d.hotQueuePop()
+		slot, ok := d.hotPages.get(pfn)
 		if !ok {
 			continue // freed or already reclaimed
 		}
-		if d.hot.atThreshold(pfn >> uint(c.cfg.HotRegionPagesLog2)) {
+		// A ρ-conversion may have relocated the resident's hash since it
+		// migrated (the parents of the topmost regular nodes are τhot
+		// nodes, so claiming such a node converts a hot slot). Chase the
+		// flags before touching the slot: moving from the recorded slot
+		// would copy the child-node hash and zero a live parent link.
+		if rs, changed := c.Resolve(d.id, slot); changed {
+			if !c.isHotNode(rs.Node()) {
+				// The relocation already pushed the page out of τhot;
+				// there is nothing to migrate back, just drop the record.
+				d.hotPages.del(pfn)
+				continue
+			}
+			d.hotPages.set(pfn, rs)
+			slot = rs
+		}
+		if d.hot.atThreshold(uint64(pfn) >> uint(c.cfg.HotRegionPagesLog2)) {
 			// Its region is still actively hot: keep it resident.
-			d.hotOrder = append(d.hotOrder, pfn)
+			d.hotQueuePush(pfn)
 			requeued++
 			continue
 		}
@@ -163,41 +275,40 @@ func (c *Controller) reclaimHot(d *Domain, ops *OpList) bool {
 // find a reserved slot via the hot NFL (trying the page's own TreeLing
 // first), copy the hash (one node read + one node write), release the old
 // slot through the regular NFL path, and update the LMM.
-func (c *Controller) migrateToHot(d *Domain, pfn uint64, old SlotID, ops *OpList) (SlotID, bool) {
-	order := make([]*nflRegion, 0, len(d.hotSpace.regions))
-	for _, hr := range d.hotSpace.regions {
-		if hr.tl == old.TreeLing() {
-			order = append([]*nflRegion{hr}, order...)
-		} else {
-			order = append(order, hr)
-		}
-	}
+func (c *Controller) migrateToHot(d *Domain, pfn layout.PFN, old SlotID, ops *OpList) (SlotID, bool) {
 	for attempt := 0; attempt < 2; attempt++ {
-		for _, hr := range order {
-			for b := 0; b < hr.nBlocks; b++ {
-				tag, ok := d.hotSpace.peek(hr, b)
-				if !ok {
+		// Two passes over the hot regions: the page's own TreeLing first,
+		// then the others in assignment order.
+		for pass := 0; pass < 2; pass++ {
+			for _, hr := range d.hotSpace.regions {
+				if (hr.tl == old.TreeLing()) != (pass == 0) {
 					continue
 				}
-				d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, false, ops)
-				sl, ok := d.hotSpace.take(hr, b, tag)
-				if !ok {
-					continue
+				for b := 0; b < hr.nBlocks; b++ {
+					tag, ok := d.hotSpace.peek(hr, b)
+					if !ok {
+						continue
+					}
+					d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, false, ops)
+					sl, ok := d.hotSpace.take(hr, b, tag)
+					if !ok {
+						continue
+					}
+					d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, true, ops)
+					_, node := unpackTag(tag)
+					ns := MakeSlot(hr.tl, node, sl)
+					c.moveHash(d, old, ns, ops)
+					c.clearOccupied(d, old)
+					c.releaseRegular(d, old, ops) // the regular slot becomes free
+					c.markOccupied(d, ns)
+					d.hotPages.set(pfn, ns)
+					d.hotQueuePush(pfn)
+					c.Migrations.Inc()
+					if c.leaf != nil {
+						c.leaf.UpdateLeaf(d.id, pfn, ns)
+					}
+					return ns, true
 				}
-				d.nflb.Access(c.lay, hr.tl, hr.blockBase+b, true, ops)
-				_, node := unpackTag(tag)
-				ns := MakeSlot(hr.tl, node, sl)
-				c.moveHash(d, old, ns, ops)
-				c.clearOccupied(d, old)
-				c.releaseRegular(d, old, ops) // the regular slot becomes free
-				c.markOccupied(d, ns)
-				d.hotPages[pfn] = ns
-				d.hotOrder = append(d.hotOrder, pfn)
-				c.Migrations.Inc()
-				if c.leaf != nil {
-					c.leaf.UpdateLeaf(d.id, pfn, ns)
-				}
-				return ns, true
 			}
 		}
 		// τhot full: lazily reclaim an inactive resident and retry.
@@ -209,13 +320,13 @@ func (c *Controller) migrateToHot(d *Domain, pfn uint64, old SlotID, ops *OpList
 }
 
 // migrateBack moves an inactive hotpage out of τhot into a regular slot.
-func (c *Controller) migrateBack(d *Domain, pfn uint64, hotSlot SlotID, ops *OpList) {
-	delete(d.hotPages, pfn)
+func (c *Controller) migrateBack(d *Domain, pfn layout.PFN, hotSlot SlotID, ops *OpList) {
+	d.hotPages.del(pfn)
 	ns, err := c.allocSlot(d, ops)
 	if err != nil {
 		// No regular slot available: leave the page in τhot (it keeps
 		// verifying correctly; τhot pressure persists).
-		d.hotPages[pfn] = hotSlot
+		d.hotPages.set(pfn, hotSlot)
 		return
 	}
 	c.moveHash(d, hotSlot, ns, ops)
@@ -242,8 +353,8 @@ func (c *Controller) moveHash(d *Domain, a, b SlotID, ops *OpList) {
 
 // HotResident returns how many pages of the domain currently live in τhot.
 func (c *Controller) HotResident(domainID int) int {
-	if d := c.domains[domainID]; d != nil {
-		return len(d.hotPages)
+	if d := c.domains[domainID]; d != nil && d.hotPages != nil {
+		return d.hotPages.n
 	}
 	return 0
 }

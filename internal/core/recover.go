@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"ivleague/internal/layout"
 	"ivleague/internal/stats"
 )
 
@@ -38,7 +39,7 @@ type domainImage struct {
 	meta      map[int]*tlMeta
 	space     *spaceImage
 	hotSpace  *spaceImage
-	hotPages  map[uint64]SlotID
+	hotPages  map[layout.PFN]SlotID
 	mapped    uint64
 }
 
@@ -127,24 +128,23 @@ func (c *Controller) Persist() (*Image, error) {
 		di := domainImage{
 			id:        id,
 			treelings: append([]int(nil), d.treelings...),
-			meta:      make(map[int]*tlMeta, len(d.meta)),
+			meta:      make(map[int]*tlMeta, len(d.treelings)),
 			space:     cloneSpace(d.space),
 			hotSpace:  cloneSpace(d.hotSpace),
 			mapped:    d.mapped,
 		}
 		for _, tl := range d.treelings {
-			m := d.meta[tl]
 			di.meta[tl] = &tlMeta{
-				parent:   append([]uint8(nil), m.parent...),
-				occupied: append([]uint8(nil), m.occupied...),
-				leaked:   m.leaked,
+				parent:   append([]uint8(nil), c.parentOf(tl)...),
+				occupied: append([]uint8(nil), c.occupiedOf(tl)...),
+				leaked:   int(c.leakCount[tl]),
 			}
 		}
 		if d.hotPages != nil {
-			di.hotPages = make(map[uint64]SlotID, len(d.hotPages))
-			for _, pfn := range stats.SortedKeys(d.hotPages) {
-				di.hotPages[pfn] = d.hotPages[pfn]
-			}
+			di.hotPages = make(map[layout.PFN]SlotID, d.hotPages.n)
+			d.hotPages.forEach(func(pfn layout.PFN, s SlotID) {
+				di.hotPages[pfn] = s
+			})
 		}
 		img.domains = append(img.domains, di)
 	}
@@ -161,13 +161,22 @@ func (c *Controller) Restore(img *Image) error {
 	}
 	assigned := make([]bool, c.lay.TreeLingCount)
 	c.domains = make(map[int]*Domain, len(img.domains))
+	for i := range c.tlDom {
+		c.tlDom[i] = -1
+		c.leakCount[i] = 0
+		c.bvStates[i] = nil
+	}
+	for i := range c.parentBits {
+		c.parentBits[i] = 0
+	}
+	for i := range c.occBits {
+		c.occBits[i] = 0
+	}
 	for _, di := range img.domains {
 		d := &Domain{
 			id:        di.id,
 			treelings: append([]int(nil), di.treelings...),
 			space:     di.space.restore(),
-			meta:      make(map[int]*tlMeta, len(di.meta)),
-			bv:        make(map[int]*bvState),
 			nflb:      newNFLB(c.cfg.NFLBEntries),
 			mapped:    di.mapped,
 		}
@@ -180,11 +189,10 @@ func (c *Controller) Restore(img *Image) error {
 			if m == nil {
 				return fmt.Errorf("core: image misses metadata for TreeLing %d", tl)
 			}
-			d.meta[tl] = &tlMeta{
-				parent:   append([]uint8(nil), m.parent...),
-				occupied: append([]uint8(nil), m.occupied...),
-				leaked:   m.leaked,
-			}
+			c.tlDom[tl] = di.id
+			copy(c.parentOf(tl), m.parent)
+			copy(c.occupiedOf(tl), m.occupied)
+			c.leakCount[tl] = int32(m.leaked)
 		}
 		if c.mode == ModePro {
 			if di.hotSpace == nil {
@@ -192,11 +200,11 @@ func (c *Controller) Restore(img *Image) error {
 			}
 			d.hotSpace = di.hotSpace.restore()
 			d.hot = newHotTracker(c.cfg.HotTrackerEntries, c.cfg.HotCounterBits, c.cfg.HotThreshold, c.cfg.HotClearInterval)
-			d.hotPages = make(map[uint64]SlotID, len(di.hotPages))
+			d.hotPages = &hotPageTable{}
 			// The migration FIFO is on-chip and lost; rebuild it in a
 			// canonical (ascending pfn) order from the persisted slots.
 			for _, pfn := range stats.SortedKeys(di.hotPages) {
-				d.hotPages[pfn] = di.hotPages[pfn]
+				d.hotPages.set(pfn, di.hotPages[pfn])
 				d.hotOrder = append(d.hotOrder, pfn)
 			}
 		}
@@ -227,15 +235,14 @@ func (c *Controller) WriteStateDigest(w io.Writer) {
 		d := c.domains[id]
 		fmt.Fprintf(w, "domain %d treelings=%v mapped=%d\n", id, d.treelings, d.mapped)
 		for _, tl := range d.treelings {
-			m := d.meta[tl]
-			fmt.Fprintf(w, " tl %d leaked=%d parent=%x occupied=%x\n", tl, m.leaked, m.parent, m.occupied)
+			fmt.Fprintf(w, " tl %d leaked=%d parent=%x occupied=%x\n", tl, c.leakCount[tl], c.parentOf(tl), c.occupiedOf(tl))
 		}
 		writeSpaceDigest(w, "nfl", d.space)
 		writeSpaceDigest(w, "hotnfl", d.hotSpace)
 		if d.hotPages != nil {
-			for _, pfn := range stats.SortedKeys(d.hotPages) {
-				fmt.Fprintf(w, " hotpage %d slot=%x\n", pfn, uint64(d.hotPages[pfn]))
-			}
+			d.hotPages.forEach(func(pfn layout.PFN, s SlotID) {
+				fmt.Fprintf(w, " hotpage %d slot=%x\n", uint64(pfn), uint64(s))
+			})
 		}
 	}
 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"ivleague/internal/layout"
+)
+
+// FreePage(domainID, pfn, slot, ops) mixes a frame number and a packed
+// verification-slot ID in adjacent positions — under the old uint64 API
+// the classic transposition FreePage(id, slot, pfn, ops) compiled and
+// freed garbage. layout.PFN and SlotID are now distinct defined types, so
+// the transposition is a compile error; this pins the typed alloc/free
+// round trip and checks that the slot's packed fields stay coherent.
+func TestAllocFreePageSwapProof(t *testing.T) {
+	c, lay := newCtrl(t, ModeBasic, false)
+	if _, err := c.CreateDomain(1); err != nil {
+		t.Fatal(err)
+	}
+	var ops OpList
+	pfn := layout.PFN(42)
+	slot, err := c.AllocPage(1, pfn, &ops) // AllocPage(1, slot, &ops) does not compile
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot.Node() < 0 || slot.Node() >= lay.NodesPerTreeLing || slot.Slot() >= lay.Arity {
+		t.Fatalf("AllocPage returned incoherent slot %v", slot)
+	}
+	if err := c.FreePage(1, pfn, slot, &ops); err != nil { // FreePage(1, slot, pfn, &ops) does not compile
+		t.Fatalf("FreePage(%d, %v): %v", pfn, slot, err)
+	}
+	// The NFL's in-place tracking re-offers a freed slot at the frontier:
+	// the next allocation must hand the same slot back, proving the free
+	// named the slot the typed arguments said it did.
+	slot2, err := c.AllocPage(1, layout.PFN(43), &ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot2 != slot {
+		t.Fatalf("freed slot %v was not re-offered; got %v", slot, slot2)
+	}
+}

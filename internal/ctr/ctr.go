@@ -8,9 +8,9 @@ package ctr
 
 import (
 	"fmt"
-	"sort"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/stats"
 	"ivleague/internal/telemetry"
 )
@@ -27,12 +27,31 @@ func (b *Block) Counter(bi int, minorBits int) uint64 {
 	return b.Major<<uint(minorBits) | uint64(b.Minors[bi])
 }
 
+// Counter blocks live in a two-level chunked arena indexed by PFN: a
+// directory of fixed-size chunks, each holding the blocks of chunkPages
+// consecutive frames plus a live bitmap. Chunks materialize on first touch,
+// so sparse frame ranges (static partitioning hands each domain a frame
+// window starting at partition*size) cost one directory slot, while the
+// steady-state Increment/Counter path is pure indexing with no map hashing
+// and no allocation.
+const (
+	ctrChunkShift = 9
+	ctrChunkPages = 1 << ctrChunkShift
+	ctrChunkMask  = ctrChunkPages - 1
+)
+
+type ctrChunk struct {
+	live   [ctrChunkPages / 64]uint64
+	blocks [ctrChunkPages]Block
+}
+
 // Store holds the counter blocks of all allocated pages, keyed by physical
 // frame number. Blocks are created on demand (zero counters).
 type Store struct {
 	minorBits int
 	minorMax  uint8
-	blocks    map[uint64]*Block
+	chunks    []*ctrChunk
+	count     int
 
 	Increments stats.Counter
 	Overflows  stats.Counter
@@ -46,31 +65,62 @@ func NewStore(minorBits int) *Store {
 	return &Store{
 		minorBits: minorBits,
 		minorMax:  uint8(1<<uint(minorBits) - 1),
-		blocks:    make(map[uint64]*Block),
 	}
 }
 
 // MinorBits returns the configured minor-counter width.
 func (s *Store) MinorBits() int { return s.minorBits }
 
-// Get returns the counter block for page pfn, creating it if absent.
-func (s *Store) Get(pfn uint64) *Block {
-	b := s.blocks[pfn]
-	if b == nil {
-		b = &Block{}
-		s.blocks[pfn] = b
+// peek returns the live block for pfn, or nil.
+func (s *Store) peek(pfn layout.PFN) *Block {
+	ci := int(pfn >> ctrChunkShift)
+	if ci >= len(s.chunks) {
+		return nil
 	}
-	return b
+	ch := s.chunks[ci]
+	if ch == nil {
+		return nil
+	}
+	idx := int(pfn & ctrChunkMask)
+	if ch.live[idx>>6]&(1<<uint(idx&63)) == 0 {
+		return nil
+	}
+	return &ch.blocks[idx]
+}
+
+// Get returns the counter block for page pfn, creating it if absent.
+//
+//ivlint:hotpath
+func (s *Store) Get(pfn layout.PFN) *Block {
+	ci := int(pfn >> ctrChunkShift)
+	for len(s.chunks) <= ci {
+		//ivlint:allow hotalloc — lazy chunk-directory growth: bounded by the PFN range, quiesces after warmup
+		s.chunks = append(s.chunks, nil)
+	}
+	ch := s.chunks[ci]
+	if ch == nil {
+		ch = &ctrChunk{}
+		s.chunks[ci] = ch
+	}
+	idx := int(pfn & ctrChunkMask)
+	if ch.live[idx>>6]&(1<<uint(idx&63)) == 0 {
+		ch.live[idx>>6] |= 1 << uint(idx&63)
+		ch.blocks[idx] = Block{}
+		s.count++
+	}
+	return &ch.blocks[idx]
 }
 
 // Peek returns the counter block for pfn or nil if the page has never been
 // written.
-func (s *Store) Peek(pfn uint64) *Block { return s.blocks[pfn] }
+func (s *Store) Peek(pfn layout.PFN) *Block { return s.peek(pfn) }
 
 // Counter returns the effective encryption counter for block bi of page
 // pfn (zero for untouched pages).
-func (s *Store) Counter(pfn uint64, bi int) uint64 {
-	b := s.blocks[pfn]
+//
+//ivlint:hotpath
+func (s *Store) Counter(pfn layout.PFN, bi int) uint64 {
+	b := s.peek(pfn)
 	if b == nil {
 		return 0
 	}
@@ -80,7 +130,9 @@ func (s *Store) Counter(pfn uint64, bi int) uint64 {
 // Increment bumps the minor counter of block bi in page pfn, returning
 // true when the minor overflowed (major incremented, all minors reset —
 // the caller must re-encrypt the page).
-func (s *Store) Increment(pfn uint64, bi int) (overflow bool) {
+//
+//ivlint:hotpath
+func (s *Store) Increment(pfn layout.PFN, bi int) (overflow bool) {
 	b := s.Get(pfn)
 	s.Increments.Inc()
 	if b.Minors[bi] == s.minorMax {
@@ -99,15 +151,26 @@ func (s *Store) Increment(pfn uint64, bi int) (overflow bool) {
 // fresh zero counters; the integrity tree update on re-mapping preserves
 // security in the model (the paper's hardware would instead continue the
 // counter, which is equivalent for the structures under study).
-func (s *Store) Drop(pfn uint64) { delete(s.blocks, pfn) }
+func (s *Store) Drop(pfn layout.PFN) {
+	ci := int(pfn >> ctrChunkShift)
+	if ci >= len(s.chunks) || s.chunks[ci] == nil {
+		return
+	}
+	ch := s.chunks[ci]
+	idx := int(pfn & ctrChunkMask)
+	if ch.live[idx>>6]&(1<<uint(idx&63)) != 0 {
+		ch.live[idx>>6] &^= 1 << uint(idx & 63)
+		s.count--
+	}
+}
 
 // Len returns the number of materialized counter blocks.
-func (s *Store) Len() int { return len(s.blocks) }
+func (s *Store) Len() int { return s.count }
 
 // Snapshot returns the counter block value (copy) for hashing into the
 // integrity tree; untouched pages hash as the zero block.
-func (s *Store) Snapshot(pfn uint64) Block {
-	if b := s.blocks[pfn]; b != nil {
+func (s *Store) Snapshot(pfn layout.PFN) Block {
+	if b := s.peek(pfn); b != nil {
 		return *b
 	}
 	return Block{}
@@ -115,12 +178,19 @@ func (s *Store) Snapshot(pfn uint64) Block {
 
 // PFNs returns the page frame numbers with materialized counter blocks in
 // ascending order.
-func (s *Store) PFNs() []uint64 {
-	pfns := make([]uint64, 0, len(s.blocks))
-	for pfn := range s.blocks {
-		pfns = append(pfns, pfn)
+func (s *Store) PFNs() []layout.PFN {
+	pfns := make([]layout.PFN, 0, s.count)
+	for ci, ch := range s.chunks {
+		if ch == nil {
+			continue
+		}
+		base := layout.PFN(ci << ctrChunkShift)
+		for idx := 0; idx < ctrChunkPages; idx++ {
+			if ch.live[idx>>6]&(1<<uint(idx&63)) != 0 {
+				pfns = append(pfns, base+layout.PFN(idx))
+			}
+		}
 	}
-	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
 	return pfns
 }
 
@@ -130,13 +200,17 @@ func (s *Store) Clone() *Store {
 	c := &Store{
 		minorBits:  s.minorBits,
 		minorMax:   s.minorMax,
-		blocks:     make(map[uint64]*Block, len(s.blocks)),
+		chunks:     make([]*ctrChunk, len(s.chunks)),
+		count:      s.count,
 		Increments: s.Increments,
 		Overflows:  s.Overflows,
 	}
-	for pfn, b := range s.blocks {
-		cp := *b
-		c.blocks[pfn] = &cp
+	for ci, ch := range s.chunks {
+		if ch == nil {
+			continue
+		}
+		cp := *ch
+		c.chunks[ci] = &cp
 	}
 	return c
 }

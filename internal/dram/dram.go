@@ -26,6 +26,13 @@ type Model struct {
 	cfg    config.DRAMConfig
 	banks  []bank
 	nbanks uint64
+	// Power-of-two fast path for mapAddr (set when channels, row size and
+	// bank count are all powers of two, which every shipped config is).
+	pow2      bool
+	chMask    uint64
+	rowShift  uint
+	bankMask  uint64
+	bankShift uint
 	// queue pressure: outstanding requests per channel with decay.
 	queueLen   []int
 	queueDecay []uint64 // cycle at which queueLen was last decayed
@@ -47,13 +54,34 @@ func New(cfg config.DRAMConfig) *Model {
 		panic(err)
 	}
 	n := cfg.Channels * cfg.RanksPerChannel * cfg.BanksPerRank
-	return &Model{
+	m := &Model{
 		cfg:        cfg,
 		banks:      make([]bank, n),
 		nbanks:     uint64(n),
 		queueLen:   make([]int, cfg.Channels),
 		queueDecay: make([]uint64, cfg.Channels),
 	}
+	pow2 := func(v uint64) (uint, bool) {
+		if v == 0 || v&(v-1) != 0 {
+			return 0, false
+		}
+		s := uint(0)
+		for 1<<s < v {
+			s++
+		}
+		return s, true
+	}
+	chShift, chOK := pow2(uint64(cfg.Channels))
+	rowShift, rowOK := pow2(uint64(cfg.RowBytes))
+	bankShift, bankOK := pow2(m.nbanks)
+	if chOK && rowOK && bankOK {
+		m.pow2 = true
+		m.chMask = 1<<chShift - 1
+		m.rowShift = rowShift
+		m.bankMask = 1<<bankShift - 1
+		m.bankShift = bankShift
+	}
+	return m
 }
 
 // Config returns the model's configuration.
@@ -64,6 +92,11 @@ func (m *Model) Config() config.DRAMConfig { return m.cfg }
 // row granularity, which gives streaming accesses row locality.
 func (m *Model) mapAddr(addr uint64) (channel int, bankIdx uint64, row uint64) {
 	blk := addr >> config.BlockShift
+	if m.pow2 {
+		channel = int(blk & m.chMask)
+		rowGlobal := addr >> m.rowShift
+		return channel, rowGlobal & m.bankMask, rowGlobal >> m.bankShift
+	}
 	channel = int(blk % uint64(m.cfg.Channels))
 	rowGlobal := addr / uint64(m.cfg.RowBytes)
 	bankIdx = rowGlobal % m.nbanks

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/secmem"
 	"ivleague/internal/sim"
 	"ivleague/internal/workload"
@@ -104,9 +105,11 @@ func CrashRecoveryCheck(cfg *config.Config, scheme config.Scheme, mix workload.M
 	if len(probe) > 8 {
 		probe = probe[:8]
 	}
+	buf := make([]byte, config.BlockBytes)
 	for _, p := range probe {
-		if _, _, err := rec.ReadData(0, p.Domain, p.VPN, p.PFN, 0); err != nil {
-			return fmt.Errorf("faults: %v at op %d: recovered read of pfn %d: %w", scheme, k, p.PFN, err)
+		req := secmem.AccessRequest{Domain: p.Domain, VPN: p.VPN, PFN: p.PFN, Block: 0}
+		if _, err := rec.ReadBlock(req, buf); err != nil {
+			return fmt.Errorf("faults: %v at op %d: recovered read of pfn %d: %w", scheme, k, uint64(p.PFN), err)
 		}
 	}
 	if len(pages) > 0 {
@@ -115,11 +118,12 @@ func CrashRecoveryCheck(cfg *config.Config, scheme config.Scheme, mix workload.M
 		for i := range payload {
 			payload[i] = byte(i*7 + 3)
 		}
-		if _, err := rec.WriteData(0, p.Domain, p.VPN, p.PFN, 1, payload); err != nil {
+		req := secmem.AccessRequest{Domain: p.Domain, VPN: p.VPN, PFN: p.PFN, Block: 1}
+		if _, err := rec.WriteBlock(req, payload); err != nil {
 			return fmt.Errorf("faults: %v at op %d: recovered write: %w", scheme, k, err)
 		}
-		got, _, err := rec.ReadData(0, p.Domain, p.VPN, p.PFN, 1)
-		if err != nil {
+		got := make([]byte, config.BlockBytes)
+		if _, err := rec.ReadBlock(req, got); err != nil {
 			return fmt.Errorf("faults: %v at op %d: recovered read-back: %w", scheme, k, err)
 		}
 		if !bytes.Equal(got, payload) {
@@ -127,8 +131,8 @@ func CrashRecoveryCheck(cfg *config.Config, scheme config.Scheme, mix workload.M
 		}
 
 		// Map a fresh page through the recovered NFL frontier.
-		maxPFN := uint64(0)
-		maxVPN := uint64(0)
+		var maxPFN layout.PFN
+		var maxVPN layout.VPN
 		for _, q := range pages {
 			if q.PFN > maxPFN {
 				maxPFN = q.PFN
@@ -137,7 +141,7 @@ func CrashRecoveryCheck(cfg *config.Config, scheme config.Scheme, mix workload.M
 				maxVPN = q.VPN
 			}
 		}
-		if maxPFN+1 < rec.Layout().Pages {
+		if uint64(maxPFN)+1 < rec.Layout().Pages {
 			if _, err := rec.OnPageMap(0, p.Domain, maxVPN+1, maxPFN+1); err != nil {
 				return fmt.Errorf("faults: %v at op %d: recovered page map: %w", scheme, k, err)
 			}

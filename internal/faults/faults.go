@@ -21,6 +21,7 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/layout"
 	"ivleague/internal/rng"
 	"ivleague/internal/secmem"
 	"ivleague/internal/tree"
@@ -94,9 +95,14 @@ func (c Class) AppliesTo(scheme config.Scheme) bool {
 // blockRef names one written data block and its owner.
 type blockRef struct {
 	domain int
-	vpn    uint64
-	pfn    uint64
+	vpn    layout.VPN
+	pfn    layout.PFN
 	block  int
+}
+
+// req builds the access request that re-reads the block.
+func (b blockRef) req() secmem.AccessRequest {
+	return secmem.AccessRequest{Domain: b.domain, VPN: b.vpn, PFN: b.pfn, Block: b.block}
 }
 
 // Workbench is a self-contained functional machine the injector attacks:
@@ -111,8 +117,8 @@ type Workbench struct {
 	r       *rng.Source
 	blocks  []blockRef
 	domains []int
-	nextPFN map[int]uint64
-	nextVPN map[int]uint64
+	nextPFN map[int]layout.PFN
+	nextVPN map[int]layout.VPN
 }
 
 // pagesPerDomain sizes the workbench footprint: enough pages that every
@@ -132,8 +138,8 @@ func NewWorkbench(cfg *config.Config, scheme config.Scheme, seed uint64) (*Workb
 		C:       c,
 		r:       rng.New(seed).ForkString("faults"),
 		domains: []int{1, 2},
-		nextPFN: make(map[int]uint64),
-		nextVPN: make(map[int]uint64),
+		nextPFN: make(map[int]layout.PFN),
+		nextVPN: make(map[int]layout.VPN),
 	}
 	for _, dom := range w.domains {
 		if err := c.CreateDomain(dom); err != nil {
@@ -144,7 +150,7 @@ func NewWorkbench(cfg *config.Config, scheme config.Scheme, seed uint64) (*Workb
 			w.nextPFN[dom] = lo
 		} else {
 			// Interleave domains over the shared frame space.
-			w.nextPFN[dom] = uint64(dom - 1)
+			w.nextPFN[dom] = layout.PFN(dom - 1)
 		}
 		w.nextVPN[dom] = 0x1000
 	}
@@ -159,10 +165,11 @@ func NewWorkbench(cfg *config.Config, scheme config.Scheme, seed uint64) (*Workb
 				for j := range payload {
 					payload[j] = byte(w.r.Uint64())
 				}
-				if _, err := c.WriteData(0, dom, vpn, pfn, blk, payload); err != nil {
+				ref := blockRef{domain: dom, vpn: vpn, pfn: pfn, block: blk}
+				if _, err := c.WriteBlock(ref.req(), payload); err != nil {
 					return nil, err
 				}
-				w.blocks = append(w.blocks, blockRef{domain: dom, vpn: vpn, pfn: pfn, block: blk})
+				w.blocks = append(w.blocks, ref)
 			}
 		}
 	}
@@ -170,16 +177,16 @@ func NewWorkbench(cfg *config.Config, scheme config.Scheme, seed uint64) (*Workb
 }
 
 // mapFresh maps one new page into the domain and returns its (vpn, pfn).
-func (w *Workbench) mapFresh(dom int) (vpn, pfn uint64, err error) {
+func (w *Workbench) mapFresh(dom int) (vpn layout.VPN, pfn layout.PFN, err error) {
 	lay := w.C.Layout()
 	pfn = w.nextPFN[dom]
-	if pfn >= lay.Pages {
+	if uint64(pfn) >= lay.Pages {
 		return 0, 0, fmt.Errorf("faults: domain %d out of frames", dom)
 	}
 	if w.Scheme == config.SchemeStaticPartition {
 		w.nextPFN[dom] = pfn + 1
 	} else {
-		w.nextPFN[dom] = pfn + uint64(len(w.domains))
+		w.nextPFN[dom] = pfn + layout.PFN(len(w.domains))
 	}
 	vpn = w.nextVPN[dom]
 	w.nextVPN[dom]++
@@ -258,7 +265,7 @@ func (w *Workbench) Apply(class Class) (*Injection, error) {
 		for j := range payload {
 			payload[j] = byte(w.r.Uint64())
 		}
-		if _, err := c.WriteData(0, inj.ref.domain, inj.ref.vpn, inj.ref.pfn, inj.ref.block, payload); err != nil {
+		if _, err := c.WriteBlock(inj.ref.req(), payload); err != nil {
 			return nil, err
 		}
 		c.ReplayBlock(snap)
@@ -278,7 +285,7 @@ func (w *Workbench) Apply(class Class) (*Injection, error) {
 			return inj, nil
 		}
 		idx := lay.GlobalNodeIndex(inj.ref.pfn, 1)
-		slot := int(inj.ref.pfn % uint64(lay.Arity))
+		slot := int(uint64(inj.ref.pfn) % uint64(lay.Arity))
 		c.GlobalTree().Corrupt(1, idx, slot, garbage)
 		inj.Desc = fmt.Sprintf("overwrite global node L1/%d slot %d", idx, slot)
 		return inj, nil
@@ -413,8 +420,9 @@ func (w *Workbench) Probe(inj *Injection) (Report, error) {
 			}
 		}
 		c.FlushMetadata()
+		buf := make([]byte, config.BlockBytes)
 		for _, ref := range w.blocks {
-			if _, _, err := c.ReadData(0, ref.domain, ref.vpn, ref.pfn, ref.block); err != nil {
+			if _, err := c.ReadBlock(ref.req(), buf); err != nil {
 				if _, herr := record(err); herr != nil {
 					return rep, herr
 				}
@@ -425,7 +433,8 @@ func (w *Workbench) Probe(inj *Injection) (Report, error) {
 
 	default:
 		// Data-path classes: read the targeted block.
-		_, _, err := c.ReadData(0, inj.ref.domain, inj.ref.vpn, inj.ref.pfn, inj.ref.block)
+		buf := make([]byte, config.BlockBytes)
+		_, err := c.ReadBlock(inj.ref.req(), buf)
 		if _, herr := record(err); herr != nil {
 			return rep, herr
 		}

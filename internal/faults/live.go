@@ -68,7 +68,7 @@ func ApplyLive(c *secmem.Controller, class Class, seed uint64) (string, error) {
 			return fmt.Sprintf("overwrite TreeLing %d node %d slot %d", slot.TreeLing(), slot.Node(), slot.Slot()), nil
 		}
 		idx := lay.GlobalNodeIndex(p.PFN, 1)
-		slot := int(p.PFN % uint64(lay.Arity))
+		slot := int(uint64(p.PFN) % uint64(lay.Arity))
 		c.GlobalTree().Corrupt(1, idx, slot, garbage)
 		return fmt.Sprintf("overwrite global node L1/%d slot %d", idx, slot), nil
 

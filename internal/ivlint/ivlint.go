@@ -61,7 +61,7 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 
 // Analyzers returns the full suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, MapIter, PanicPath, ConfigAliasing, Printcall, FloatAccum, ErrDrop}
+	return []*Analyzer{Determinism, MapIter, PanicPath, ConfigAliasing, Printcall, FloatAccum, ErrDrop, HotAlloc}
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.

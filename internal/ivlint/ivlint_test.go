@@ -224,6 +224,7 @@ func TestDeletingSuppressionFails(t *testing.T) {
 		{"floatacc", unscoped(FloatAccum), "//ivlint:allow floataccum", "floating-point accumulation"},
 		{"errdropt", unscoped(ErrDrop), "//ivlint:allow errdrop", "call to fakedev.Reset discards"},
 		{"mapitr", unscoped(MapIter), "//ivlint:allow mapiter", "writes output via fmt.Fprintln"},
+		{"hotalloc", unscoped(HotAlloc), "//ivlint:allow hotalloc", "escapes into c.arena"},
 	}
 	for _, tc := range cases {
 		srcs := readTestDir(t, tc.dir)
@@ -366,6 +367,49 @@ func TestErrDropGolden(t *testing.T) {
 
 func TestMapIterGolden(t *testing.T) {
 	checkWants(t, loadTestDir(t, "mapitr"), []*Analyzer{unscoped(MapIter)})
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	checkWants(t, loadTestDir(t, "hotalloc"), []*Analyzer{unscoped(HotAlloc)})
+}
+
+// Re-introducing a map allocation into a function reachable from a
+// //ivlint:hotpath root must produce a diagnostic — the failure direction
+// that keeps the access path's zero-alloc steady state honest after the
+// arena conversion.
+func TestHotAllocReintroduction(t *testing.T) {
+	srcs := readTestDir(t, "hotalloc")
+	edited := map[string]string{}
+	for name, src := range srcs {
+		edited[name] = strings.Replace(src,
+			"func tick(c *ctrl, addr uint64) {",
+			"func tick(c *ctrl, addr uint64) {\n\tc.index = make(map[uint64]int)\n", 1)
+	}
+	before := Run(loadTestDir(t, "hotalloc"), []*Analyzer{unscoped(HotAlloc)})
+	after := Run(loadTestSrc(t, "hotalloc", edited), []*Analyzer{unscoped(HotAlloc)})
+	b, a := countFor(before, "tick allocates a map"), countFor(after, "tick allocates a map")
+	if a != b+1 {
+		t.Fatalf("re-introduced hot-path map alloc changed diagnostics %d -> %d, want +1", b, a)
+	}
+}
+
+// Conversely, a function that stops being reachable from any hot root must
+// stop being reported: deleting the only call edge to lookup removes its
+// map-alloc diagnostic.
+func TestHotAllocUnreachableIsClean(t *testing.T) {
+	srcs := readTestDir(t, "hotalloc")
+	edited := map[string]string{}
+	for name, src := range srcs {
+		s := strings.Replace(src, "return c.lookup(addr)", "return 0", 1)
+		// The golden want comment would now dangle; drop the line with it.
+		s = strings.Replace(s, "c.index = make(map[uint64]int) // want `lookup allocates a map`",
+			"c.index = make(map[uint64]int)", 1)
+		edited[name] = s
+	}
+	diags := Run(loadTestSrc(t, "hotalloc", edited), []*Analyzer{unscoped(HotAlloc)})
+	if n := countFor(diags, "lookup allocates a map"); n != 0 {
+		t.Fatalf("unreachable lookup still reported %d times", n)
+	}
 }
 
 // Re-introducing a dropped internal error must produce a diagnostic — the

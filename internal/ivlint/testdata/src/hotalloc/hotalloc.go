@@ -1,0 +1,90 @@
+// Package hotalloc exercises the hotalloc analyzer: map allocations and
+// escaping appends in functions reachable from an //ivlint:hotpath root
+// are diagnostics; the same constructs in cold code are not.
+package hotalloc
+
+type ctrl struct {
+	index map[uint64]int
+	trace []uint64
+	arena []uint64
+	last  uint64
+}
+
+// Access is the per-op entry point of this fake access path.
+//
+//ivlint:hotpath
+func (c *ctrl) Access(addr uint64) int {
+	c.note(addr)
+	c.growArena(int(addr & 7))
+	_ = c.history(addr)
+	_ = c.renorm()
+	return c.lookup(addr)
+}
+
+// lookup is not itself marked, but is reachable from Access.
+func (c *ctrl) lookup(addr uint64) int {
+	if c.index == nil {
+		c.index = make(map[uint64]int) // want `lookup allocates a map`
+	}
+	return c.index[addr]
+}
+
+// note grows a field slice on every access: the canonical escaping append.
+func (c *ctrl) note(addr uint64) {
+	c.trace = append(c.trace, addr) // want `append in note escapes into c\.trace`
+}
+
+// history returns an append result, so the slice escapes each call.
+func (c *ctrl) history(addr uint64) []uint64 {
+	return append(c.trace, addr) // want `append in history is returned`
+}
+
+// growArena materializes backing storage lazily; the growth quiesces once
+// the arena covers the working set, so the append is deliberately allowed.
+func (c *ctrl) growArena(n int) {
+	for len(c.arena) < n {
+		//ivlint:allow hotalloc — lazy arena materialization: amortized, quiesces after warmup
+		c.arena = append(c.arena, 0)
+	}
+}
+
+// Step is a hot root that is a plain function, covering Ident call edges.
+//
+//ivlint:hotpath
+func Step(c *ctrl, addr uint64) {
+	tick(c, addr)
+}
+
+func tick(c *ctrl, addr uint64) {
+	m := map[uint64]bool{addr: true} // want `map literal in tick allocates`
+	if m[addr] {
+		c.last = addr
+	}
+}
+
+// renorm is reachable and appends into a function-local slice: the
+// tolerated collect-then-discard pattern, no diagnostic.
+func (c *ctrl) renorm() uint64 {
+	var all []uint64
+	for _, v := range c.arena {
+		if v != 0 {
+			all = append(all, v)
+		}
+	}
+	var sum uint64
+	for _, v := range all {
+		sum += v
+	}
+	return sum
+}
+
+// Snapshot is cold — nothing reaches it from a hot root — so its map
+// allocation and escaping append are fine.
+func (c *ctrl) Snapshot() map[uint64]int {
+	out := make(map[uint64]int, len(c.index))
+	for k, v := range c.index {
+		out[k] = v
+	}
+	c.trace = append(c.trace, c.last)
+	return out
+}

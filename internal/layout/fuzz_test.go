@@ -23,12 +23,12 @@ func FuzzLayoutAddrRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, pfn uint64, tl, node int, addr uint64) {
 		// Counter region: pfn -> addr -> pfn.
-		if a, err := l.CounterBlockAddr(pfn); err == nil {
+		if a, err := l.CounterBlockAddr(PFN(pfn)); err == nil {
 			got, err := l.PFNOfCounterAddr(a)
 			if err != nil {
 				t.Fatalf("PFNOfCounterAddr(%#x): %v", a, err)
 			}
-			if got != pfn {
+			if uint64(got) != pfn {
 				t.Fatalf("counter round-trip: pfn %d -> %#x -> %d", pfn, a, got)
 			}
 		} else if pfn < l.Pages {

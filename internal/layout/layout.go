@@ -12,6 +12,15 @@ import (
 	"ivleague/internal/config"
 )
 
+// PFN is a physical frame number: the index of a 4 KiB frame in the data
+// region. It is a distinct type so that swapping a PFN with a VPN in a
+// call is a compile error, not a silent address-space corruption.
+type PFN uint64
+
+// VPN is a virtual page number within one domain's address space. See PFN
+// for why it is a distinct type.
+type VPN uint64
+
 // Layout is the computed address map. All fields are in bytes unless noted.
 type Layout struct {
 	Arity int
@@ -124,16 +133,16 @@ func New(cfg *config.Config) *Layout {
 }
 
 // CounterBlockAddr returns the physical address of page pfn's counter block.
-func (l *Layout) CounterBlockAddr(pfn uint64) (uint64, error) {
-	if pfn >= l.Pages {
+func (l *Layout) CounterBlockAddr(pfn PFN) (uint64, error) {
+	if uint64(pfn) >= l.Pages {
 		return 0, fmt.Errorf("layout: pfn %d out of range", pfn)
 	}
-	return l.CounterBase + pfn*config.BlockBytes, nil
+	return l.CounterBase + uint64(pfn)*config.BlockBytes, nil
 }
 
 // PFNOfCounterAddr is the inverse of CounterBlockAddr: it recovers the page
 // whose counter block lives at addr.
-func (l *Layout) PFNOfCounterAddr(addr uint64) (uint64, error) {
+func (l *Layout) PFNOfCounterAddr(addr uint64) (PFN, error) {
 	if addr < l.CounterBase || addr >= l.GlobalTreeBase {
 		return 0, fmt.Errorf("layout: address %#x outside the counter region", addr)
 	}
@@ -141,7 +150,7 @@ func (l *Layout) PFNOfCounterAddr(addr uint64) (uint64, error) {
 	if off%config.BlockBytes != 0 {
 		return 0, fmt.Errorf("layout: address %#x not counter-block aligned", addr)
 	}
-	return off / config.BlockBytes, nil
+	return PFN(off / config.BlockBytes), nil
 }
 
 // GlobalLevelCount returns the number of nodes at a global-tree level
@@ -152,8 +161,8 @@ func (l *Layout) GlobalLevelCount(level int) uint64 {
 
 // GlobalNodeIndex returns the index, at the given tree level, of the node
 // on page pfn's verification path in the global tree.
-func (l *Layout) GlobalNodeIndex(pfn uint64, level int) uint64 {
-	idx := pfn
+func (l *Layout) GlobalNodeIndex(pfn PFN, level int) uint64 {
+	idx := uint64(pfn)
 	for i := 0; i < level; i++ {
 		idx /= uint64(l.Arity)
 	}
@@ -269,8 +278,8 @@ func (l *Layout) NFLBlockAddr(tl, blockIdx int) (uint64, error) {
 // PTEAddr returns a synthetic physical address for the extended PTE of
 // (domain, vpn), used to charge page-walk and LMM-miss memory traffic with
 // realistic spread.
-func (l *Layout) PTEAddr(domain int, vpn uint64) uint64 {
-	x := vpn>>2 ^ uint64(domain)<<40
+func (l *Layout) PTEAddr(domain int, vpn VPN) uint64 {
+	x := uint64(vpn)>>2 ^ uint64(domain)<<40
 	x *= 0x9e3779b97f4a7c15
 	x ^= x >> 32
 	return l.PTBase + (x&(l.ptBlocks-1))*config.BlockBytes

@@ -128,7 +128,7 @@ func TestGlobalTreeConverges(t *testing.T) {
 		t.Fatalf("global tree top level has %d nodes", l.GlobalLevelCount(l.GlobalLevels))
 	}
 	// Walking any page's indices reaches node 0 at the top.
-	if l.GlobalNodeIndex(l.Pages-1, l.GlobalLevels) != 0 {
+	if l.GlobalNodeIndex(PFN(l.Pages-1), l.GlobalLevels) != 0 {
 		t.Fatal("last page does not converge to root")
 	}
 }
@@ -152,7 +152,7 @@ func TestCounterAddrs(t *testing.T) {
 	if a1-a0 != config.BlockBytes {
 		t.Fatal("counter blocks not contiguous")
 	}
-	if _, err := l.CounterBlockAddr(l.Pages); err == nil {
+	if _, err := l.CounterBlockAddr(PFN(l.Pages)); err == nil {
 		t.Fatal("out-of-range pfn did not return an error")
 	}
 }
@@ -176,7 +176,7 @@ func TestAddrErrorsNotPanics(t *testing.T) {
 func TestAddrInverses(t *testing.T) {
 	l := testLayout()
 	must := mustFn(t)
-	for _, pfn := range []uint64{0, 1, l.Pages - 1} {
+	for _, pfn := range []PFN{0, 1, PFN(l.Pages - 1)} {
 		a := must(l.CounterBlockAddr(pfn))
 		got, err := l.PFNOfCounterAddr(a)
 		if err != nil || got != pfn {
@@ -195,7 +195,7 @@ func TestAddrInverses(t *testing.T) {
 func TestPTEAddrStaysInRegion(t *testing.T) {
 	l := testLayout()
 	f := func(domain uint8, vpn uint64) bool {
-		a := l.PTEAddr(int(domain), vpn)
+		a := l.PTEAddr(int(domain), VPN(vpn))
 		return a >= l.PTBase && a < l.Top
 	}
 	if err := quick.Check(f, nil); err != nil {

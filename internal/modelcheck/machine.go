@@ -9,6 +9,7 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/layout"
 	"ivleague/internal/osmodel"
 	"ivleague/internal/pagetable"
 	"ivleague/internal/secmem"
@@ -46,7 +47,7 @@ func newMachine(opts Options, cfg *config.Config) (*machine, error) {
 		cfg:    cfg,
 		ctl:    ctl,
 		audit:  telemetry.NewAudit(),
-		frames: osmodel.NewFrameAllocator(0, opts.Frames),
+		frames: osmodel.NewFrameAllocator(0, layout.PFN(opts.Frames)),
 		procs:  make(map[int]*osmodel.Process),
 	}
 	ctl.SetAudit(m.audit)
@@ -111,12 +112,12 @@ func (m *machine) opCreate(d int) (outcome, *Violation) {
 		return outAccepted, m.violationFor(err)
 	}
 	p := osmodel.NewProcess(d, d, m.frames, pagetable.IvLeagueLevels)
-	p.OnPageMap = func(dom int, vpn, pfn uint64) {
+	p.OnPageMap = func(dom int, vpn layout.VPN, pfn layout.PFN) {
 		if _, err := m.ctl.OnPageMap(0, dom, vpn, pfn); err != nil && m.pendingErr == nil {
 			m.pendingErr = err
 		}
 	}
-	p.OnPageUnmap = func(dom int, vpn, pfn uint64) {
+	p.OnPageUnmap = func(dom int, vpn layout.VPN, pfn layout.PFN) {
 		if _, err := m.ctl.OnPageUnmap(0, dom, vpn, pfn); err != nil && m.pendingErr == nil {
 			m.pendingErr = err
 		}
@@ -148,7 +149,8 @@ func (m *machine) opDestroy(d int) (outcome, *Violation) {
 	return outAccepted, nil
 }
 
-func (m *machine) opMap(d int, vpn uint64) (outcome, *Violation) {
+func (m *machine) opMap(d int, v uint64) (outcome, *Violation) {
+	vpn := layout.VPN(v)
 	p := m.procs[d]
 	if p == nil || p.Table.Lookup(vpn) != nil {
 		return outSkipped, nil
@@ -177,7 +179,8 @@ func (m *machine) opMap(d int, vpn uint64) (outcome, *Violation) {
 	return outAccepted, nil
 }
 
-func (m *machine) opUnmap(d int, vpn uint64) (outcome, *Violation) {
+func (m *machine) opUnmap(d int, v uint64) (outcome, *Violation) {
+	vpn := layout.VPN(v)
 	p := m.procs[d]
 	if p == nil || p.Table.Lookup(vpn) == nil {
 		return outSkipped, nil
@@ -191,7 +194,8 @@ func (m *machine) opUnmap(d int, vpn uint64) (outcome, *Violation) {
 	return outAccepted, nil
 }
 
-func (m *machine) opAccess(d int, vpn uint64, write bool) (outcome, *Violation) {
+func (m *machine) opAccess(d int, v uint64, write bool) (outcome, *Violation) {
+	vpn := layout.VPN(v)
 	p := m.procs[d]
 	if p == nil {
 		return outSkipped, nil
@@ -203,19 +207,21 @@ func (m *machine) opAccess(d int, vpn uint64, write bool) (outcome, *Violation) 
 	if _, ok := m.ctl.SlotOf(pte.PFN); !ok {
 		return outSkipped, nil
 	}
+	req := secmem.AccessRequest{Domain: d, VPN: vpn, PFN: pte.PFN, Block: 0}
 	if write {
-		payload := make([]byte, config.BlockBytes)
+		var payload [config.BlockBytes]byte
 		for i := range payload {
-			payload[i] = byte(d)<<4 ^ byte(vpn) ^ byte(i)
+			payload[i] = byte(d)<<4 ^ byte(v) ^ byte(i)
 		}
 		for i := 0; i < m.opts.Burst; i++ {
-			if _, err := m.ctl.WriteData(0, d, vpn, pte.PFN, 0, payload); err != nil {
+			if _, err := m.ctl.WriteBlock(req, payload[:]); err != nil {
 				return outAccepted, m.violationFor(err)
 			}
 		}
 		return outAccepted, nil
 	}
-	if _, _, err := m.ctl.ReadData(0, d, vpn, pte.PFN, 0); err != nil {
+	var dst [config.BlockBytes]byte
+	if _, err := m.ctl.ReadBlock(req, dst[:]); err != nil {
 		return outAccepted, m.violationFor(err)
 	}
 	return outAccepted, nil
@@ -253,7 +259,7 @@ func (m *machine) enabledOps() []Op {
 		}
 		ops = append(ops, Op{Kind: OpDestroy, Domain: d})
 		for v := uint64(0); v < m.opts.VPNs; v++ {
-			if p.Table.Lookup(v) == nil {
+			if p.Table.Lookup(layout.VPN(v)) == nil {
 				ops = append(ops, Op{Kind: OpMap, Domain: d, VPN: v})
 			} else {
 				ops = append(ops,

@@ -34,6 +34,10 @@ type Scenario struct {
 	// configuration; -check warns when fingerprints differ (the numbers
 	// then track config drift, not code speed).
 	Fingerprint string
+	// Steady marks a scenario whose Run exercises only the steady-state
+	// access path on pre-built state: the regression gate additionally
+	// fails it when allocs/op is non-zero, independent of timing.
+	Steady bool
 }
 
 // Measurement is one scenario's digest in a BENCH file. NsPerOp is the
@@ -52,6 +56,7 @@ type Measurement struct {
 	BytesPerOp        float64           `json:"bytes_per_op"`       // median across reps
 	SamplesNsPerOp    []float64         `json:"samples_ns_per_op"`  // per-rep, run order
 	PhaseNs           map[string]uint64 `json:"phase_ns,omitempty"` // sampled, from one instrumented run
+	Steady            bool              `json:"steady,omitempty"`   // zero-alloc steady-state contract applies
 }
 
 // BenchFile is one point of the repo's performance trajectory: the
@@ -156,7 +161,7 @@ func MeasureScenario(s Scenario, reps, warmup int) (Measurement, error) {
 			return Measurement{}, fmt.Errorf("obs: %s warmup: %w", s.Name, err)
 		}
 	}
-	m := Measurement{Name: s.Name, ConfigFingerprint: s.Fingerprint, Reps: reps}
+	m := Measurement{Name: s.Name, ConfigFingerprint: s.Fingerprint, Reps: reps, Steady: s.Steady}
 	var nsPerOp, allocs, bytes []float64
 	var ms0, ms1 runtime.MemStats
 	for i := 0; i < reps; i++ {

@@ -85,6 +85,10 @@ func Check(old, new *BenchFile, opt CheckOptions) ([]Delta, error) {
 				d.Note = "slowdown within noise floor"
 			}
 		}
+		if note, bad := steadyAllocCheck(nm); bad {
+			d.Regressed = true
+			d.Note = note
+		}
 		out = append(out, d)
 	}
 	var added []string
@@ -95,12 +99,29 @@ func Check(old, new *BenchFile, opt CheckOptions) ([]Delta, error) {
 	}
 	sort.Strings(added)
 	for _, name := range added {
-		out = append(out, Delta{
+		d := Delta{
 			Name: name, NewNsPerOp: newByName[name].NsPerOp,
 			Note: "new scenario (no baseline)",
-		})
+		}
+		// The zero-alloc contract needs no baseline: a steady scenario
+		// that allocates fails even on its first trajectory point.
+		if note, bad := steadyAllocCheck(newByName[name]); bad {
+			d.Regressed = true
+			d.Note = note
+		}
+		out = append(out, d)
 	}
 	return out, nil
+}
+
+// steadyAllocCheck enforces the access-path API v2 contract on steady
+// scenarios: the steady-state path allocates nothing, so any allocs/op
+// above zero is a regression regardless of timing or noise floors.
+func steadyAllocCheck(m Measurement) (string, bool) {
+	if m.Steady && m.AllocsPerOp > 0 {
+		return fmt.Sprintf("steady scenario allocates: %.4g allocs/op, want 0", m.AllocsPerOp), true
+	}
+	return "", false
 }
 
 // Regressions filters deltas to the failing ones.

@@ -417,6 +417,50 @@ func TestCheckMissingAndNewScenarios(t *testing.T) {
 	}
 }
 
+func TestCheckSteadyAllocGate(t *testing.T) {
+	// Timing is identical, but the steady scenario allocates in NEW: the
+	// gate must fail it regardless of ratio or noise floor.
+	old := benchPoint([]string{"secmem/steady-access"}, 100, []float64{100})
+	old.Scenarios[0].Steady = true
+	new := benchPoint([]string{"secmem/steady-access"}, 100, []float64{100})
+	new.Scenarios[0].Steady = true
+	new.Scenarios[0].AllocsPerOp = 0.5
+	deltas, err := Check(old, new, DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || !strings.Contains(regs[0].Note, "allocates") {
+		t.Fatalf("allocating steady scenario not flagged: %+v", deltas)
+	}
+	// Zero allocs passes.
+	new.Scenarios[0].AllocsPerOp = 0
+	deltas, err = Check(old, new, DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("clean steady scenario flagged: %+v", regs)
+	}
+	// A brand-new steady scenario (no baseline) still gets the gate.
+	onlyNew := benchPoint([]string{"fresh/steady"}, 100, []float64{100})
+	onlyNew.Scenarios[0].Steady = true
+	onlyNew.Scenarios[0].AllocsPerOp = 2
+	deltas, err = Check(old, func() *BenchFile {
+		f := benchPoint([]string{"secmem/steady-access"}, 100, []float64{100})
+		f.Scenarios[0].Steady = true
+		f.Scenarios = append(f.Scenarios, onlyNew.Scenarios[0])
+		return f
+	}(), DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs = Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "fresh/steady" {
+		t.Fatalf("baseline-less steady scenario not gated: %+v", deltas)
+	}
+}
+
 // TestMeasureScenarioSynthetic runs the whole measure→emit→check loop on
 // synthetic scenarios with a known 2x cost difference — the acceptance
 // path of ivperf without the simulator's runtime.

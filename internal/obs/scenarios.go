@@ -5,6 +5,8 @@ import (
 
 	"ivleague/internal/analysis"
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
+	"ivleague/internal/secmem"
 	"ivleague/internal/sim"
 	"ivleague/internal/sweep"
 	"ivleague/internal/telemetry"
@@ -52,6 +54,83 @@ func simScenario(scheme config.Scheme, mixName string) (Scenario, error) {
 				return 0, fmt.Errorf("%s on %s failed: %s", scheme, mixName, res.FailMsg)
 			}
 			return instr, nil
+		},
+	}, nil
+}
+
+// steadyAccessScenario builds the pure access-path scenario: a secmem
+// controller under IvLeague-Pro with a mapped, fully warmed working set,
+// constructed lazily on the first Run (the warmup rep) so the timed reps
+// measure nothing but Do — the tree walk, counters, NFL/LMM, and hotpage
+// machinery on the flat arenas. Work is counted in Do calls. The
+// scenario is marked Steady: the -check gate fails any trajectory point
+// where it allocates, enforcing the zero-alloc steady-state contract
+// directly in CI next to the alloc regression test in internal/secmem.
+func steadyAccessScenario() (Scenario, error) {
+	cfg := config.Default()
+	fp, err := sweep.CellKey{
+		Kind: "perf", Scheme: config.SchemeIvLeaguePro.String(), Unit: "steady-access",
+		Extra: "ivperf-v1", Config: &cfg,
+	}.Fingerprint()
+	if err != nil {
+		return Scenario{}, err
+	}
+	const (
+		pages     = 512
+		rotations = 40
+		basePFN   = 4096
+	)
+	var ctl *secmem.Controller
+	now := uint64(1)
+	access := func() error {
+		for i := uint64(0); i < pages; i++ {
+			req := secmem.AccessRequest{
+				Now: now, Domain: 1,
+				VPN: layout.VPN(i), PFN: layout.PFN(basePFN + i),
+				Block: int(i) % config.BlocksPerPage,
+				Write: i%2 == 0,
+			}
+			if _, err := ctl.Do(req); err != nil {
+				return fmt.Errorf("steady-access Do(%d): %w", i, err)
+			}
+			now++
+		}
+		return nil
+	}
+	return Scenario{
+		Name:        "secmem/steady-access",
+		Fingerprint: fp,
+		Steady:      true,
+		Run: func(_ *telemetry.PhaseTimers) (float64, error) {
+			if ctl == nil {
+				c, err := secmem.New(&cfg, config.SchemeIvLeaguePro, 8)
+				if err != nil {
+					return 0, err
+				}
+				if err := c.CreateDomain(1); err != nil {
+					return 0, err
+				}
+				for i := uint64(0); i < pages; i++ {
+					if _, err := c.OnPageMap(now, 1, layout.VPN(i), layout.PFN(basePFN+i)); err != nil {
+						return 0, fmt.Errorf("steady-access map %d: %w", i, err)
+					}
+					now++
+				}
+				ctl = c
+				// Warm until the hotpage machinery and metadata caches
+				// reach their fixed point on this working set.
+				for r := 0; r < 8; r++ {
+					if err := access(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			for r := 0; r < rotations; r++ {
+				if err := access(); err != nil {
+					return 0, err
+				}
+			}
+			return float64(pages * rotations), nil
 		},
 	}, nil
 }
@@ -104,7 +183,7 @@ func Scenarios(quick bool) ([]Scenario, error) {
 			spec{config.SchemeIvLeaguePro, "L-2"},
 		)
 	}
-	out := make([]Scenario, 0, len(specs)+1)
+	out := make([]Scenario, 0, len(specs)+2)
 	for _, sp := range specs {
 		s, err := simScenario(sp.scheme, sp.mix)
 		if err != nil {
@@ -112,6 +191,11 @@ func Scenarios(quick bool) ([]Scenario, error) {
 		}
 		out = append(out, s)
 	}
+	steady, err := steadyAccessScenario()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, steady)
 	f22, err := fig22Scenario()
 	if err != nil {
 		return nil, err

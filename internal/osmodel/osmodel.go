@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"ivleague/internal/layout"
 	"ivleague/internal/pagetable"
 	"ivleague/internal/stats"
 )
@@ -36,10 +37,10 @@ var (
 // are recycled LIFO, which creates the address-reuse patterns that
 // exercise the NFL deallocation paths.
 type FrameAllocator struct {
-	lo, hi  uint64
-	next    uint64
-	free    []uint64
-	freeSet map[uint64]bool // mirrors free for O(1) double-free detection
+	lo, hi  layout.PFN
+	next    layout.PFN
+	free    []layout.PFN
+	freeSet map[layout.PFN]bool // mirrors free for O(1) double-free detection
 	inUse   uint64
 
 	Allocs stats.Counter
@@ -47,15 +48,15 @@ type FrameAllocator struct {
 }
 
 // NewFrameAllocator creates an allocator over frames [lo, hi).
-func NewFrameAllocator(lo, hi uint64) *FrameAllocator {
+func NewFrameAllocator(lo, hi layout.PFN) *FrameAllocator {
 	if hi <= lo {
 		panic("osmodel: empty frame range")
 	}
-	return &FrameAllocator{lo: lo, hi: hi, next: lo, freeSet: make(map[uint64]bool)}
+	return &FrameAllocator{lo: lo, hi: hi, next: lo, freeSet: make(map[layout.PFN]bool)}
 }
 
 // Alloc returns a free frame.
-func (f *FrameAllocator) Alloc() (uint64, error) {
+func (f *FrameAllocator) Alloc() (layout.PFN, error) {
 	if n := len(f.free); n > 0 {
 		pfn := f.free[n-1]
 		f.free = f.free[:n-1]
@@ -75,7 +76,7 @@ func (f *FrameAllocator) Alloc() (uint64, error) {
 }
 
 // Free returns a frame to the allocator.
-func (f *FrameAllocator) Free(pfn uint64) error {
+func (f *FrameAllocator) Free(pfn layout.PFN) error {
 	if pfn < f.lo || pfn >= f.hi {
 		return fmt.Errorf("%w: freeing frame %d outside [%d,%d)", ErrOutOfRange, pfn, f.lo, f.hi)
 	}
@@ -105,7 +106,7 @@ func (f *FrameAllocator) WriteState(w io.Writer) {
 }
 
 // Capacity returns the total number of frames managed.
-func (f *FrameAllocator) Capacity() uint64 { return f.hi - f.lo }
+func (f *FrameAllocator) Capacity() uint64 { return uint64(f.hi - f.lo) }
 
 // Process is one running program: an IV domain with a page table. Threads
 // of the same process share the Process (same domain).
@@ -118,8 +119,8 @@ type Process struct {
 	// Hooks into the secure-memory scheme, set by the simulator.
 	// OnPageMap is called after a frame is mapped (hardware assigns a
 	// tree slot); OnPageUnmap before the frame is freed.
-	OnPageMap   func(domainID int, vpn, pfn uint64)
-	OnPageUnmap func(domainID int, vpn, pfn uint64)
+	OnPageMap   func(domainID int, vpn layout.VPN, pfn layout.PFN)
+	OnPageUnmap func(domainID int, vpn layout.VPN, pfn layout.PFN)
 
 	PagesMapped stats.Counter
 	PagesFreed  stats.Counter
@@ -138,7 +139,7 @@ func NewProcess(pid, domainID int, frames *FrameAllocator, ptLevels []uint) *Pro
 
 // Touch ensures vpn is mapped, allocating and mapping a frame on first
 // touch. It returns the PFN and whether a fault (new mapping) occurred.
-func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
+func (p *Process) Touch(vpn layout.VPN) (pfn layout.PFN, fault bool, err error) {
 	if pte := p.Table.Lookup(vpn); pte != nil {
 		return pte.PFN, false, nil
 	}
@@ -160,10 +161,10 @@ func (p *Process) Touch(vpn uint64) (pfn uint64, fault bool, err error) {
 // returns ErrNotMapped (benign — callers filter it with errors.Is); any
 // other error covers frame-accounting corruption (freeing a frame outside
 // the allocator's range), which must fail the run instead of crashing it.
-func (p *Process) Unmap(vpn uint64) (bool, error) {
+func (p *Process) Unmap(vpn layout.VPN) (bool, error) {
 	pte := p.Table.Lookup(vpn)
 	if pte == nil {
-		return false, fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
+		return false, fmt.Errorf("%w: vpn %#x", ErrNotMapped, uint64(vpn))
 	}
 	pfn := pte.PFN
 	if p.OnPageUnmap != nil {

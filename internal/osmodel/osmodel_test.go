@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"ivleague/internal/layout"
 	"ivleague/internal/pagetable"
 )
 
@@ -63,13 +64,13 @@ func TestProcessTouchAndUnmap(t *testing.T) {
 	frames := NewFrameAllocator(0, 100)
 	var mapped, unmapped int
 	p := NewProcess(1, 7, frames, pagetable.IvLeagueLevels)
-	p.OnPageMap = func(dom int, vpn, pfn uint64) {
+	p.OnPageMap = func(dom int, vpn layout.VPN, pfn layout.PFN) {
 		if dom != 7 {
 			t.Fatalf("domain %d", dom)
 		}
 		mapped++
 	}
-	p.OnPageUnmap = func(dom int, vpn, pfn uint64) { unmapped++ }
+	p.OnPageUnmap = func(dom int, vpn layout.VPN, pfn layout.PFN) { unmapped++ }
 
 	pfn, fault, err := p.Touch(42)
 	if err != nil || !fault {

@@ -1,0 +1,36 @@
+package osmodel
+
+import (
+	"testing"
+
+	"ivleague/internal/layout"
+	"ivleague/internal/pagetable"
+)
+
+// Touch takes a layout.VPN and returns a layout.PFN; Free takes a
+// layout.PFN. Before the typed-ID migration all three positions were
+// uint64, so feeding the touched VPN back into Free — a classic
+// copy-paste swap — compiled and corrupted the frame allocator. Now
+// Free(vpn) is a compile error; this test pins the typed round trip with
+// values where a swap would be observable (VPN 3 is far outside the
+// allocator's PFN window).
+func TestTouchFreeSwapProof(t *testing.T) {
+	frames := NewFrameAllocator(layout.PFN(100), layout.PFN(108))
+	p := NewProcess(1, 1, frames, pagetable.IvLeagueLevels)
+	vpn := layout.VPN(3)
+	pfn, fault, err := p.Touch(vpn) // p.Touch(pfn) does not compile
+	if err != nil || !fault {
+		t.Fatalf("Touch(%d) = %d, %v, %v; want fresh mapping", vpn, pfn, fault, err)
+	}
+	if pfn < 100 || pfn >= 108 {
+		t.Fatalf("Touch returned pfn %d outside the allocator window", pfn)
+	}
+	// Free(layout.PFN(uint64(vpn))) — the runtime shape of the old swap —
+	// must be rejected: VPN 3 was never a frame of this allocator.
+	if err := frames.Free(layout.PFN(uint64(vpn))); err == nil {
+		t.Fatal("Free accepted the VPN value as a frame number")
+	}
+	if err := frames.Free(pfn); err != nil {
+		t.Fatalf("Free(%d) of the touched frame failed: %v", pfn, err)
+	}
+}

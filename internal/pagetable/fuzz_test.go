@@ -1,6 +1,10 @@
 package pagetable
 
-import "testing"
+import (
+	"testing"
+
+	"ivleague/internal/layout"
+)
 
 // FuzzPageTableMapUnmap drives the page table with an arbitrary op
 // sequence decoded from the fuzz input. The contract under test: misuse
@@ -20,7 +24,7 @@ func FuzzPageTableMapUnmap(f *testing.F) {
 			pfn := uint64(i)
 			switch {
 			case b&0x80 == 0: // map
-				err := pt.Map(vpn, pfn)
+				err := pt.Map(layout.VPN(vpn), layout.PFN(pfn))
 				if _, dup := shadow[vpn]; dup {
 					if err == nil {
 						t.Fatalf("double map of vpn %#x accepted", vpn)
@@ -32,17 +36,17 @@ func FuzzPageTableMapUnmap(f *testing.F) {
 					shadow[vpn] = pfn
 				}
 			case b&0x40 == 0: // unmap
-				old, ok := pt.Unmap(vpn)
+				old, ok := pt.Unmap(layout.VPN(vpn))
 				want, mapped := shadow[vpn]
 				if ok != mapped {
 					t.Fatalf("unmap(%#x) = %v, shadow says %v", vpn, ok, mapped)
 				}
-				if ok && old.PFN != want {
+				if ok && uint64(old.PFN) != want {
 					t.Fatalf("unmap(%#x) returned pfn %d, want %d", vpn, old.PFN, want)
 				}
 				delete(shadow, vpn)
 			default: // SetLeafID
-				err := pt.SetLeafID(vpn, uint64(b))
+				err := pt.SetLeafID(layout.VPN(vpn), uint64(b))
 				if _, mapped := shadow[vpn]; mapped != (err == nil) {
 					t.Fatalf("SetLeafID(%#x) err=%v, shadow mapped=%v", vpn, err, mapped)
 				}
@@ -53,8 +57,8 @@ func FuzzPageTableMapUnmap(f *testing.F) {
 		}
 		// Every shadow entry must still look up correctly.
 		for vpn, pfn := range shadow {
-			pte := pt.Lookup(vpn)
-			if pte == nil || pte.PFN != pfn {
+			pte := pt.Lookup(layout.VPN(vpn))
+			if pte == nil || uint64(pte.PFN) != pfn {
 				t.Fatalf("lookup(%#x) lost mapping to pfn %d", vpn, pfn)
 			}
 		}

@@ -7,12 +7,13 @@ package pagetable
 import (
 	"fmt"
 
+	"ivleague/internal/layout"
 	"ivleague/internal/stats"
 )
 
 // PTE is a (possibly extended) page-table entry.
 type PTE struct {
-	PFN     uint64
+	PFN     layout.PFN
 	LeafID  uint64 // LMM: the TreeLing slot verifying this page (IvLeague)
 	Present bool
 }
@@ -68,13 +69,13 @@ func (t *Table) Depth() int { return len(t.levels) }
 // Mapped returns the number of present PTEs.
 func (t *Table) Mapped() uint64 { return t.mapped }
 
-func (t *Table) index(vpn uint64, level int) uint64 {
-	return (vpn >> t.shifts[level]) & (1<<t.levels[level] - 1)
+func (t *Table) index(vpn layout.VPN, level int) uint64 {
+	return (uint64(vpn) >> t.shifts[level]) & (1<<t.levels[level] - 1)
 }
 
 // walk returns the PTE slot for vpn, allocating intermediate nodes when
 // create is set; returns nil otherwise when the path is absent.
-func (t *Table) walk(vpn uint64, create bool) *PTE {
+func (t *Table) walk(vpn layout.VPN, create bool) *PTE {
 	n := t.root
 	last := len(t.levels) - 1
 	for level := 0; level < last; level++ {
@@ -99,10 +100,10 @@ func (t *Table) walk(vpn uint64, create bool) *PTE {
 
 // Map installs a translation vpn→pfn. Mapping an already-present VPN is an
 // error (callers must Unmap first).
-func (t *Table) Map(vpn, pfn uint64) error {
+func (t *Table) Map(vpn layout.VPN, pfn layout.PFN) error {
 	pte := t.walk(vpn, true)
 	if pte.Present {
-		return fmt.Errorf("pagetable: vpn %#x already mapped", vpn)
+		return fmt.Errorf("pagetable: vpn %#x already mapped", uint64(vpn))
 	}
 	*pte = PTE{PFN: pfn, Present: true}
 	t.mapped++
@@ -110,7 +111,7 @@ func (t *Table) Map(vpn, pfn uint64) error {
 }
 
 // Unmap removes a translation, returning the old PTE.
-func (t *Table) Unmap(vpn uint64) (PTE, bool) {
+func (t *Table) Unmap(vpn layout.VPN) (PTE, bool) {
 	pte := t.walk(vpn, false)
 	if pte == nil || !pte.Present {
 		return PTE{}, false
@@ -123,14 +124,14 @@ func (t *Table) Unmap(vpn uint64) (PTE, bool) {
 
 // VPNs returns every mapped VPN in ascending order — the canonical
 // enumeration the model checker folds into its state fingerprint.
-func (t *Table) VPNs() []uint64 {
-	out := make([]uint64, 0, t.mapped)
+func (t *Table) VPNs() []layout.VPN {
+	out := make([]layout.VPN, 0, t.mapped)
 	var walk func(n *ptNode, prefix uint64, level int)
 	walk = func(n *ptNode, prefix uint64, level int) {
 		if n.ptes != nil {
 			for i := range n.ptes {
 				if n.ptes[i].Present {
-					out = append(out, prefix|uint64(i))
+					out = append(out, layout.VPN(prefix|uint64(i)))
 				}
 			}
 			return
@@ -147,7 +148,7 @@ func (t *Table) VPNs() []uint64 {
 
 // Lookup returns a pointer to the PTE for vpn, or nil if unmapped. The
 // pointer stays valid until Unmap; callers may update LeafID through it.
-func (t *Table) Lookup(vpn uint64) *PTE {
+func (t *Table) Lookup(vpn layout.VPN) *PTE {
 	pte := t.walk(vpn, false)
 	if pte == nil || !pte.Present {
 		return nil
@@ -156,35 +157,38 @@ func (t *Table) Lookup(vpn uint64) *PTE {
 }
 
 // SetLeafID updates the LMM field of a mapped page.
-func (t *Table) SetLeafID(vpn, leafID uint64) error {
+func (t *Table) SetLeafID(vpn layout.VPN, leafID uint64) error {
 	pte := t.Lookup(vpn)
 	if pte == nil {
-		return fmt.Errorf("pagetable: SetLeafID on unmapped vpn %#x", vpn)
+		return fmt.Errorf("pagetable: SetLeafID on unmapped vpn %#x", uint64(vpn))
 	}
 	pte.LeafID = leafID
 	return nil
 }
 
+// invalidVPN marks an empty TLB way. VPNs are 36-bit, so the all-ones
+// sentinel can never collide with a real translation.
+const invalidVPN = ^uint64(0)
+
 // TLB is a set-associative translation lookaside buffer over VPNs. On
 // eviction it invokes the eviction hook so the LMM cache can stay
 // consistent, per Section VI-C2.
+//
+// Storage is struct-of-arrays: the tag scan of one set touches a single
+// contiguous run of VPN words instead of striding across wide entry
+// structs — the TLB lookup sits on the per-instruction hot path.
 type TLB struct {
 	ways    int
-	sets    [][]tlbEntry
+	vpns    []uint64 // invalidVPN = empty way
+	pfns    []layout.PFN
+	lastUse []uint64
 	setMask uint64
 	tick    uint64
 	// OnEvict, when non-nil, is called with the VPN of each evicted entry.
-	OnEvict func(vpn uint64)
+	OnEvict func(vpn layout.VPN)
 
 	Hits   stats.Counter
 	Misses stats.Counter
-}
-
-type tlbEntry struct {
-	vpn     uint64
-	pfn     uint64
-	lastUse uint64
-	valid   bool
 }
 
 // NewTLB creates a TLB with the given total entries and associativity.
@@ -196,23 +200,30 @@ func NewTLB(entries, ways int) *TLB {
 	if nsets&(nsets-1) != 0 {
 		panic("pagetable: TLB set count must be a power of two")
 	}
-	t := &TLB{ways: ways, sets: make([][]tlbEntry, nsets), setMask: uint64(nsets - 1)}
-	backing := make([]tlbEntry, nsets*ways)
-	for i := range t.sets {
-		t.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	t := &TLB{
+		ways:    ways,
+		vpns:    make([]uint64, entries),
+		pfns:    make([]layout.PFN, entries),
+		lastUse: make([]uint64, entries),
+		setMask: uint64(nsets - 1),
+	}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
 	}
 	return t
 }
 
 // Lookup translates vpn, returning (pfn, true) on a hit.
-func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
+//
+//ivlint:hotpath
+func (t *TLB) Lookup(vpn layout.VPN) (layout.PFN, bool) {
 	t.tick++
-	set := t.sets[vpn&t.setMask]
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].lastUse = t.tick
+	base := int(uint64(vpn)&t.setMask) * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if t.vpns[i] == uint64(vpn) {
+			t.lastUse[i] = t.tick
 			t.Hits.Inc()
-			return set[i].pfn, true
+			return t.pfns[i], true
 		}
 	}
 	t.Misses.Inc()
@@ -220,32 +231,39 @@ func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
 }
 
 // Insert installs a translation after a miss, evicting LRU if needed.
-func (t *TLB) Insert(vpn, pfn uint64) {
+//
+//ivlint:hotpath
+func (t *TLB) Insert(vpn layout.VPN, pfn layout.PFN) {
 	t.tick++
-	set := t.sets[vpn&t.setMask]
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
+	base := int(uint64(vpn)&t.setMask) * t.ways
+	victim := base
+	evict := true
+	for i := base; i < base+t.ways; i++ {
+		if t.vpns[i] == invalidVPN {
 			victim = i
-			goto fill
+			evict = false
+			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if t.lastUse[i] < t.lastUse[victim] {
 			victim = i
 		}
 	}
-	if t.OnEvict != nil {
-		t.OnEvict(set[victim].vpn)
+	if evict && t.OnEvict != nil {
+		t.OnEvict(layout.VPN(t.vpns[victim]))
 	}
-fill:
-	set[victim] = tlbEntry{vpn: vpn, pfn: pfn, lastUse: t.tick, valid: true}
+	t.vpns[victim] = uint64(vpn)
+	t.pfns[victim] = pfn
+	t.lastUse[victim] = t.tick
 }
 
 // Invalidate drops a translation (used on unmap).
-func (t *TLB) Invalidate(vpn uint64) bool {
-	set := t.sets[vpn&t.setMask]
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i] = tlbEntry{}
+func (t *TLB) Invalidate(vpn layout.VPN) bool {
+	base := int(uint64(vpn)&t.setMask) * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if t.vpns[i] == uint64(vpn) {
+			t.vpns[i] = invalidVPN
+			t.pfns[i] = 0
+			t.lastUse[i] = 0
 			return true
 		}
 	}

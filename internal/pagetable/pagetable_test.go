@@ -3,6 +3,8 @@ package pagetable
 import (
 	"testing"
 	"testing/quick"
+
+	"ivleague/internal/layout"
 )
 
 func TestMapLookupUnmap(t *testing.T) {
@@ -71,12 +73,12 @@ func TestDistinctVPNsNoAliasing(t *testing.T) {
 			if _, dup := seen[vpn]; dup {
 				continue
 			}
-			fresh.Map(vpn, uint64(i))
+			fresh.Map(layout.VPN(vpn), layout.PFN(i))
 			seen[vpn] = uint64(i)
 		}
 		for vpn, pfn := range seen {
-			pte := fresh.Lookup(vpn)
-			if pte == nil || pte.PFN != pfn {
+			pte := fresh.Lookup(layout.VPN(vpn))
+			if pte == nil || uint64(pte.PFN) != pfn {
 				return false
 			}
 		}
@@ -90,7 +92,7 @@ func TestDistinctVPNsNoAliasing(t *testing.T) {
 
 func TestVPNsDifferingOnlyInHighBits(t *testing.T) {
 	pt := New(IvLeagueLevels)
-	a := uint64(0x123)
+	a := layout.VPN(0x123)
 	b := a | 1<<35 // top-level index differs
 	pt.Map(a, 1)
 	pt.Map(b, 2)
@@ -116,8 +118,8 @@ func TestTLBHitMiss(t *testing.T) {
 
 func TestTLBEvictionCallback(t *testing.T) {
 	tlb := NewTLB(8, 2) // 4 sets × 2 ways
-	var evicted []uint64
-	tlb.OnEvict = func(vpn uint64) { evicted = append(evicted, vpn) }
+	var evicted []layout.VPN
+	tlb.OnEvict = func(vpn layout.VPN) { evicted = append(evicted, vpn) }
 	// Fill one set (vpns congruent mod 4) beyond capacity.
 	tlb.Insert(0, 1)
 	tlb.Insert(4, 2)

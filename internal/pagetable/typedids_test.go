@@ -1,0 +1,28 @@
+package pagetable
+
+import (
+	"testing"
+
+	"ivleague/internal/layout"
+)
+
+// TLB.Insert(vpn, pfn) is the canonical swap-prone call site: both sides
+// were bare uint64 before the typed-ID migration, so Insert(pfn, vpn)
+// compiled and silently poisoned the translation. With layout.VPN and
+// layout.PFN as distinct defined types the swap is a compile error; this
+// test pins the runtime behavior the types protect, using values chosen so
+// a swapped insert would invert both lookups.
+func TestTLBInsertSwapProof(t *testing.T) {
+	tlb := NewTLB(16, 4)
+	vpn, pfn := layout.VPN(3), layout.PFN(7)
+	tlb.Insert(vpn, pfn) // Insert(pfn, vpn) does not compile
+	got, ok := tlb.Lookup(vpn)
+	if !ok || got != pfn {
+		t.Fatalf("Lookup(%d) = %d, %v; want %d, true", vpn, got, ok, pfn)
+	}
+	// Under the swapped call the tag would have been 7: probe it to prove
+	// the mapping went in the declared direction.
+	if swapped, ok := tlb.Lookup(layout.VPN(uint64(pfn))); ok {
+		t.Fatalf("Lookup(VPN(%d)) unexpectedly hit with pfn %d: arguments swapped", pfn, swapped)
+	}
+}

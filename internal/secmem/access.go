@@ -6,9 +6,36 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/layout"
 	"ivleague/internal/telemetry"
 	"ivleague/internal/tree"
 )
+
+// AccessRequest describes one LLC-miss memory transaction entering the
+// secure-memory path. The typed VPN/PFN fields make the historical
+// "swapped vpn/pfn arguments" bug a compile error instead of a silent
+// mis-simulation.
+type AccessRequest struct {
+	// Now is the current simulated cycle (DRAM timing reference).
+	Now uint64
+	// Domain is the issuing IV domain.
+	Domain int
+	// VPN is the virtual page the access targets (LMM/PTE addressing).
+	VPN layout.VPN
+	// PFN is the physical frame the access targets.
+	PFN layout.PFN
+	// Block is the 64-byte block index within the page.
+	Block int
+	// Write marks the secure write of a dirty line; false models a read
+	// with integrity verification.
+	Write bool
+}
+
+// AccessResult carries the outcome of a secure-memory transaction.
+type AccessResult struct {
+	// Latency is the added latency in cycles.
+	Latency int
+}
 
 // auditTouch records one integrity-metadata touch with the attached audit.
 // Counter blocks and PTE blocks are deliberately not recorded: both are
@@ -26,9 +53,14 @@ func (c *Controller) auditTouch(domain, tl, level, node int) {
 // domain: IvLeague assigns a TreeLing slot (possibly assigning a whole new
 // TreeLing) and installs the LMM entry; static partitioning checks the
 // frame lies in the domain's partition. It returns the added latency.
-func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, error) {
-	c.pageVPN[pfn] = vpn
-	c.pageDom[pfn] = domain
+func (c *Controller) OnPageMap(now uint64, domain int, vpn layout.VPN, pfn layout.PFN) (int, error) {
+	pm := c.pages.ensure(pfn)
+	if !pm.mapped {
+		c.pages.n++
+	}
+	pm.vpn = vpn
+	pm.dom = int32(domain)
+	pm.mapped = true
 	switch {
 	case c.ivc != nil:
 		c.ops.Reset()
@@ -36,11 +68,12 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 		if err != nil {
 			// A rejected map (TreeLing starvation) must leave no residue,
 			// or a phantom page with no slot would linger in the metadata.
-			delete(c.pageVPN, pfn)
-			delete(c.pageDom, pfn)
+			pm.mapped = false
+			c.pages.n--
 			return 0, err
 		}
-		c.pageSlots[pfn] = slot
+		pm.slot = slot
+		pm.hasSlot = true
 		c.lmm.Access(domain, vpn, true) // install the LMM entry
 		mmT := c.phases.Start()
 		lat, err := c.replayOps(now, domain)
@@ -91,28 +124,35 @@ func (c *Controller) OnPageMap(now uint64, domain int, vpn, pfn uint64) (int, er
 // OnPageUnmap releases a page's metadata when the OS unmaps it. An error
 // (freeing an unknown or already-free slot) means the OS and the scheme
 // disagree about the page's state; the caller must fail the run.
-func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, error) {
-	delete(c.pageVPN, pfn)
-	delete(c.pageDom, pfn)
+func (c *Controller) OnPageUnmap(now uint64, domain int, vpn layout.VPN, pfn layout.PFN) (int, error) {
+	pm := c.pages.get(pfn)
+	if pm != nil && pm.mapped {
+		pm.mapped = false
+		c.pages.n--
+	}
 	c.counters.Drop(pfn)
 	if c.datamem != nil {
 		// The counters died with the mapping, so any retained ciphertext
 		// is undecryptable garbage: a re-mapped frame must read as
 		// never-written memory, not fail the MAC check on stale blocks.
-		for b := uint64(0); b < config.BlocksPerPage; b++ {
-			delete(c.datamem, pfn<<config.PageShift|b<<config.BlockShift)
-		}
+		c.datamem.dropPage(pfn)
 	}
 	if c.ivc != nil {
 		c.ops.Reset()
-		slot := c.pageSlots[pfn]
+		var slot core.SlotID
+		if pm != nil && pm.hasSlot {
+			slot = pm.slot
+		}
 		if rs, changed := c.ivc.Resolve(domain, slot); changed {
 			slot = rs
 		}
 		if err := c.ivc.FreePage(domain, pfn, slot, &c.ops); err != nil {
 			return 0, fmt.Errorf("secmem: FreePage: %w", err)
 		}
-		delete(c.pageSlots, pfn)
+		if pm != nil {
+			pm.slot = 0
+			pm.hasSlot = false
+		}
 		c.lmm.Invalidate(domain, vpn)
 		mmT := c.phases.Start()
 		lat, err := c.replayOps(now, domain)
@@ -132,15 +172,21 @@ func (c *Controller) OnPageUnmap(now uint64, domain int, vpn, pfn uint64) (int, 
 	return 0, nil
 }
 
-// Access models one LLC-miss memory transaction through the secure-memory
-// path and returns its latency in cycles. write=true models the secure
-// write of a dirty line (counter increment, tree update, encrypted data
-// write); write=false models a read with integrity verification.
+// Do models one LLC-miss memory transaction through the secure-memory
+// path and returns its latency in cycles. A write request models the
+// secure write of a dirty line (counter increment, tree update, encrypted
+// data write); a read request models a read with integrity verification.
 //
 // In functional mode a read verifies the real hash chain and returns an
 // error if the memory was tampered with.
-func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, write bool) (int, error) {
-	dataAddr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
+//
+// Do performs no heap allocation in the steady state (pages mapped, OpList
+// and path buffers warmed), which keeps the simulator's hot loop free of
+// GC pressure.
+//
+//ivlint:hotpath
+func (c *Controller) Do(req AccessRequest) (AccessResult, error) {
+	dataAddr := uint64(req.PFN)<<config.PageShift | uint64(req.Block)<<config.BlockShift
 	lat := 0
 
 	// Locate the page's verification slot (IvLeague: LMM lookup, lazy
@@ -154,7 +200,7 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 	if c.ivc != nil {
 		mcT := c.phases.Start()
 		c.ops.Reset()
-		if hit := c.lmm.Access(domain, vpn, false); !hit {
+		if hit := c.lmm.Access(req.Domain, req.VPN, false); !hit {
 			// LMM miss: if the leaf ID turns out to be needed (a
 			// verification walk or a tree update), the extended PTE is
 			// read from memory at that point.
@@ -162,44 +208,63 @@ func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, 
 		} else {
 			lat += c.cfg.IvLeague.LMMCache.HitLatency
 		}
-		var ok bool
-		slot, ok = c.pageSlots[pfn]
-		if !ok {
-			return 0, fmt.Errorf("secmem: access to unmapped pfn %d", pfn)
+		pm := c.pages.get(req.PFN)
+		if pm == nil || !pm.hasSlot {
+			return AccessResult{}, fmt.Errorf("secmem: access to unmapped pfn %d", uint64(req.PFN))
 		}
-		if rs, changed := c.ivc.Resolve(domain, slot); changed {
+		slot = pm.slot
+		if rs, changed := c.ivc.Resolve(req.Domain, slot); changed {
 			// Figure 12c: the LMM pointed at a converted parent slot;
 			// refresh it to the page's effective slot.
-			c.pageSlots[pfn] = rs
+			pm.slot = rs
 			slot = rs
-			c.lmm.Access(domain, vpn, true)
+			c.lmm.Access(req.Domain, req.VPN, true)
 		}
-		if ns, migrated := c.ivc.OnAccess(domain, pfn, slot, &c.ops); migrated {
+		if ns, migrated := c.ivc.OnAccess(req.Domain, req.PFN, slot, &c.ops); migrated {
 			slot = ns
 		}
 		c.phases.End(telemetry.PhaseMetaCache, mcT)
 		mmT := c.phases.Start()
-		rlat, err := c.replayOps(now, domain)
+		rlat, err := c.replayOps(req.Now, req.Domain)
 		c.phases.End(telemetry.PhaseMeta, mmT)
 		if err != nil {
-			return 0, err
+			return AccessResult{}, err
 		}
 		lat += rlat
 	}
 
-	if write {
+	if req.Write {
 		if lmmMiss {
 			// The write path always updates the page's tree node.
-			lat += c.dram.Access(now, c.lay.PTEAddr(domain, vpn), false)
+			lat += c.dram.Access(req.Now, c.lay.PTEAddr(req.Domain, req.VPN), false)
 		}
-		return c.secureWrite(now, domain, pfn, block, dataAddr, slot, lat)
+		wlat, err := c.secureWrite(req.Now, req.Domain, req.PFN, req.Block, dataAddr, slot, lat)
+		return AccessResult{Latency: wlat}, err
 	}
-	return c.secureRead(now, domain, vpn, pfn, dataAddr, slot, lat, lmmMiss)
+	rlat, err := c.secureRead(req.Now, req.Domain, req.VPN, req.PFN, dataAddr, slot, lat, lmmMiss)
+	return AccessResult{Latency: rlat}, err
+}
+
+// Access is the positional form of Do.
+//
+// Deprecated: use Do with an AccessRequest; the typed request makes
+// vpn/pfn transpositions a compile error and carries future fields without
+// signature churn.
+func (c *Controller) Access(now uint64, domain int, vpn, pfn uint64, block int, write bool) (int, error) {
+	res, err := c.Do(AccessRequest{
+		Now:    now,
+		Domain: domain,
+		VPN:    layout.VPN(vpn),
+		PFN:    layout.PFN(pfn),
+		Block:  block,
+		Write:  write,
+	})
+	return res.Latency, err
 }
 
 // secureRead: fetch data and counter in parallel, verify the counter
 // through the tree when it misses on-chip, then MAC-check.
-func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAddr uint64, slot core.SlotID, lat int, lmmMiss bool) (int, error) {
+func (c *Controller) secureRead(now uint64, domain int, vpn layout.VPN, pfn layout.PFN, dataAddr uint64, slot core.SlotID, lat int, lmmMiss bool) (int, error) {
 	c.DataReads.Inc()
 	dataLat := c.dram.Access(now, dataAddr, false)
 
@@ -257,7 +322,7 @@ func (c *Controller) secureRead(now uint64, domain int, vpn, pfn uint64, dataAdd
 
 // secureWrite: bump the counter (re-encrypting the page on minor
 // overflow), update the leaf tree node, write the encrypted data back.
-func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, dataAddr uint64, slot core.SlotID, lat int) (int, error) {
+func (c *Controller) secureWrite(now uint64, domain int, pfn layout.PFN, block int, dataAddr uint64, slot core.SlotID, lat int) (int, error) {
 	c.DataWrites.Inc()
 	metaLat, walked, err := c.counterFetch(now, domain, pfn, slot, true)
 	if err != nil {
@@ -283,7 +348,7 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 		// at one DRAM transaction per 8 blocks as a pipelined stream).
 		c.Overflows.Inc()
 		for i := 0; i < config.BlocksPerPage; i += 8 {
-			a := pfn<<config.PageShift | uint64(i)<<config.BlockShift
+			a := uint64(pfn)<<config.PageShift | uint64(i)<<config.BlockShift
 			lat += c.dram.Access(now, a, false)
 			c.dram.Access(now, a, true)
 		}
@@ -322,7 +387,7 @@ func (c *Controller) secureWrite(now uint64, domain int, pfn uint64, block int, 
 // counterFetch accesses the page's counter block through the counter
 // cache; a miss fetches it from memory and triggers a verification walk.
 // It returns the latency and whether a verification walk happened.
-func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.SlotID, write bool) (int, bool, error) {
+func (c *Controller) counterFetch(now uint64, domain int, pfn layout.PFN, slot core.SlotID, write bool) (int, bool, error) {
 	ctrAddr, err := c.lay.CounterBlockAddr(pfn)
 	if err != nil {
 		return 0, false, err
@@ -351,7 +416,7 @@ func (c *Controller) counterFetch(now uint64, domain int, pfn uint64, slot core.
 // toward the root, reading and hashing every node until one is found in
 // the (trusted, on-chip) tree cache. The number of node blocks read from
 // memory is the Figure 16 path-length metric.
-func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.SlotID) (int, error) {
+func (c *Controller) verifyWalk(now uint64, domain int, pfn layout.PFN, slot core.SlotID) (int, error) {
 	c.Verifications.Inc()
 	lat := 0
 	pathLen := 0
@@ -426,7 +491,7 @@ func (c *Controller) verifyWalk(now uint64, domain int, pfn uint64, slot core.Sl
 // updateLeafNode marks the tree node holding the page's counter hash
 // dirty in the tree cache (fetching it on a miss), modelling the write
 // path's tree update up to the cached level.
-func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot core.SlotID) (int, error) {
+func (c *Controller) updateLeafNode(now uint64, domain int, pfn layout.PFN, slot core.SlotID) (int, error) {
 	var addr uint64
 	var err error
 	if c.ivc != nil {
@@ -454,7 +519,7 @@ func (c *Controller) updateLeafNode(now uint64, domain int, pfn uint64, slot cor
 // functionalVerify checks the real hash chain for pfn. A mismatch comes
 // back as a *tree.IntegrityError; the owning domain — which the tree layer
 // does not know — is stamped onto it here.
-func (c *Controller) functionalVerify(domain int, pfn uint64, slot core.SlotID) error {
+func (c *Controller) functionalVerify(domain int, pfn layout.PFN, slot core.SlotID) error {
 	snap := c.counters.Snapshot(pfn)
 	var err error
 	switch {
@@ -537,7 +602,7 @@ func (c *Controller) FlushMetadata() {
 
 // TLBEvicted must be called by the TLB's eviction hook so the LMM cache
 // stays consistent (Section VI-C2).
-func (c *Controller) TLBEvicted(domain int, vpn uint64) {
+func (c *Controller) TLBEvicted(domain int, vpn layout.VPN) {
 	if c.lmm != nil {
 		c.lmm.Invalidate(domain, vpn)
 	}
@@ -547,7 +612,7 @@ func (c *Controller) TLBEvicted(domain int, vpn uint64) {
 // the LMM field of the fetched extended PTE is split off and installed in
 // the LMM cache (Section VI-C2), so LLC misses under a TLB hit usually
 // find the leaf ID on-chip. The walk itself is charged by the caller.
-func (c *Controller) OnPageWalk(domain int, vpn uint64) {
+func (c *Controller) OnPageWalk(domain int, vpn layout.VPN) {
 	if c.lmm != nil {
 		c.lmm.Access(domain, vpn, false)
 	}

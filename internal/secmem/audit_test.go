@@ -77,10 +77,10 @@ func TestAuditStaticPartitionOverflow(t *testing.T) {
 	lay := c.Layout()
 
 	// In-partition traffic: sharing confined to the coarse subtree root.
-	mapPage(t, c, 1, 0, lo1)
-	access(t, c, 1, 0, lo1)
-	mapPage(t, c, 2, 0, lo2)
-	access(t, c, 2, 0, lo2)
+	mapPage(t, c, 1, 0, uint64(lo1))
+	access(t, c, 1, 0, uint64(lo1))
+	mapPage(t, c, 2, 0, uint64(lo2))
+	access(t, c, 2, 0, uint64(lo2))
 	rep := audit.Report()
 	if rep.Isolated() {
 		t.Fatalf("static partitions share their pinned subtree root; audit saw none: %+v", rep)
@@ -99,11 +99,11 @@ func TestAuditStaticPartitionOverflow(t *testing.T) {
 		t.Fatal("test pfns should share a leaf node")
 	}
 	swapsBefore := c.SwapPenalties.Value()
-	mapPage(t, c, 1, 9, over)
+	mapPage(t, c, 1, 9, uint64(over))
 	if c.SwapPenalties.Value() == swapsBefore {
 		t.Fatal("overflow mapping did not charge a swap penalty")
 	}
-	access(t, c, 1, 9, over)
+	access(t, c, 1, 9, uint64(over))
 
 	rep = audit.Report()
 	deep := false

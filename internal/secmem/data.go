@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/tree"
 )
 
@@ -19,62 +20,180 @@ type blockState struct {
 	mac uint64
 }
 
+// dataPage holds one page's worth of functional block state plus a
+// present bitmap (which blocks were ever written).
+type dataPage struct {
+	present [(config.BlocksPerPage + 63) / 64]uint64
+	blocks  [config.BlocksPerPage]blockState
+}
+
+func (p *dataPage) isPresent(block int) bool {
+	return p.present[block>>6]&(1<<uint(block&63)) != 0
+}
+
+func (p *dataPage) setPresent(block int) {
+	p.present[block>>6] |= 1 << uint(block&63)
+}
+
+// The functional data plane is a two-level chunked arena indexed by PFN:
+// a directory of chunks, each holding pointers to per-page block arrays
+// that materialize on a page's first write. A steady-state write to an
+// already-materialized page encrypts in place — no map insert, no per-block
+// allocation.
+const (
+	dataChunkShift = 9
+	dataChunkSize  = 1 << dataChunkShift
+	dataChunkMask  = dataChunkSize - 1
+)
+
+type dataPlane struct {
+	chunks [][]*dataPage
+}
+
+// page returns the data page for pfn, or nil if never written.
+func (d *dataPlane) page(pfn layout.PFN) *dataPage {
+	ci := int(pfn >> dataChunkShift)
+	if ci >= len(d.chunks) || d.chunks[ci] == nil {
+		return nil
+	}
+	return d.chunks[ci][int(pfn&dataChunkMask)]
+}
+
+// ensure returns the data page for pfn, materializing it if needed.
+func (d *dataPlane) ensure(pfn layout.PFN) *dataPage {
+	ci := int(pfn >> dataChunkShift)
+	for len(d.chunks) <= ci {
+		d.chunks = append(d.chunks, nil)
+	}
+	if d.chunks[ci] == nil {
+		d.chunks[ci] = make([]*dataPage, dataChunkSize)
+	}
+	p := d.chunks[ci][int(pfn&dataChunkMask)]
+	if p == nil {
+		p = &dataPage{}
+		d.chunks[ci][int(pfn&dataChunkMask)] = p
+	}
+	return p
+}
+
+// dropPage discards every block of a page (unmap).
+func (d *dataPlane) dropPage(pfn layout.PFN) {
+	ci := int(pfn >> dataChunkShift)
+	if ci >= len(d.chunks) || d.chunks[ci] == nil {
+		return
+	}
+	d.chunks[ci][int(pfn&dataChunkMask)] = nil
+}
+
+// forEach visits every present block in ascending (pfn, block) order —
+// equivalently ascending byte address, the digest's canonical order.
+func (d *dataPlane) forEach(fn func(pfn layout.PFN, block int, st *blockState)) {
+	for ci, ch := range d.chunks {
+		if ch == nil {
+			continue
+		}
+		base := layout.PFN(ci) << dataChunkShift
+		for i, p := range ch {
+			if p == nil {
+				continue
+			}
+			for b := 0; b < config.BlocksPerPage; b++ {
+				if p.isPresent(b) {
+					fn(base+layout.PFN(i), b, &p.blocks[b])
+				}
+			}
+		}
+	}
+}
+
+// clone deep-copies the plane (the persisted data image of a crash
+// snapshot).
+func (d *dataPlane) clone() *dataPlane {
+	c := &dataPlane{chunks: make([][]*dataPage, len(d.chunks))}
+	for ci, ch := range d.chunks {
+		if ch == nil {
+			continue
+		}
+		nch := make([]*dataPage, dataChunkSize)
+		for i, p := range ch {
+			if p != nil {
+				cp := *p
+				nch[i] = &cp
+			}
+		}
+		c.chunks[ci] = nch
+	}
+	return c
+}
+
 // dataMem lazily materializes the functional data plane.
-func (c *Controller) dataMem() map[uint64]*blockState {
+func (c *Controller) dataMem() *dataPlane {
 	if c.datamem == nil {
-		c.datamem = make(map[uint64]*blockState)
+		c.datamem = &dataPlane{}
 	}
 	return c.datamem
 }
 
-// WriteData performs a full secure write: the timing path (counter bump,
+// WriteBlock performs a full secure write: the timing path (counter bump,
 // tree update, posted write) plus the functional path (encrypt the 64-byte
-// plaintext under the fresh counter, store ciphertext and MAC). Requires
-// functional mode.
-func (c *Controller) WriteData(now uint64, domain int, vpn, pfn uint64, block int, plain []byte) (int, error) {
+// plaintext under the fresh counter, store ciphertext and MAC in place).
+// req.Write is implied. Requires functional mode.
+func (c *Controller) WriteBlock(req AccessRequest, plain []byte) (AccessResult, error) {
 	if !c.functional {
-		return 0, errors.New("secmem: WriteData requires WithFunctional")
+		return AccessResult{}, errors.New("secmem: WriteBlock requires WithFunctional")
 	}
 	if len(plain) != config.BlockBytes {
-		return 0, fmt.Errorf("secmem: WriteData needs %d bytes", config.BlockBytes)
+		return AccessResult{}, fmt.Errorf("secmem: WriteBlock needs %d bytes", config.BlockBytes)
 	}
-	lat, err := c.Access(now, domain, vpn, pfn, block, true)
+	req.Write = true
+	res, err := c.Do(req)
 	if err != nil {
-		return 0, err
+		return AccessResult{}, err
 	}
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	cnt := c.counters.Counter(pfn, block)
-	st := &blockState{}
+	addr := uint64(req.PFN)<<config.PageShift | uint64(req.Block)<<config.BlockShift
+	cnt := c.counters.Counter(req.PFN, req.Block)
+	p := c.dataMem().ensure(req.PFN)
+	st := &p.blocks[req.Block]
 	c.engine.EncryptBlock(st.ct[:], plain, addr, cnt)
 	st.mac = c.engine.MAC(st.ct[:], addr, cnt)
-	c.dataMem()[addr] = st
-	return lat, nil
+	p.setPresent(req.Block)
+	return res, nil
 }
 
-// ReadData performs a full secure read: the timing path (data + counter
+// ReadBlock performs a full secure read: the timing path (data + counter
 // fetch, tree verification) plus the functional path (MAC check and
-// decryption). It returns the plaintext. Tampered or replayed memory
-// yields an error.
-func (c *Controller) ReadData(now uint64, domain int, vpn, pfn uint64, block int) ([]byte, int, error) {
+// decryption). The plaintext is decrypted into dst, which must be
+// config.BlockBytes long — the caller owns the buffer, so a steady-state
+// read allocates nothing. req.Write is implied false. Tampered or replayed
+// memory yields an error.
+func (c *Controller) ReadBlock(req AccessRequest, dst []byte) (AccessResult, error) {
 	if !c.functional {
-		return nil, 0, errors.New("secmem: ReadData requires WithFunctional")
+		return AccessResult{}, errors.New("secmem: ReadBlock requires WithFunctional")
 	}
-	lat, err := c.Access(now, domain, vpn, pfn, block, false)
+	if len(dst) != config.BlockBytes {
+		return AccessResult{}, fmt.Errorf("secmem: ReadBlock needs a %d-byte buffer", config.BlockBytes)
+	}
+	req.Write = false
+	res, err := c.Do(req)
 	if err != nil {
-		return nil, 0, err // integrity-tree violation
+		return AccessResult{}, err // integrity-tree violation
 	}
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	st := c.dataMem()[addr]
-	if st == nil {
+	addr := uint64(req.PFN)<<config.PageShift | uint64(req.Block)<<config.BlockShift
+	p := c.dataMem().page(req.PFN)
+	if p == nil || !p.isPresent(req.Block) {
 		// Never-written memory decrypts to zeros by convention.
-		return make([]byte, config.BlockBytes), lat, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return res, nil
 	}
-	cnt := c.counters.Counter(pfn, block)
+	st := &p.blocks[req.Block]
+	cnt := c.counters.Counter(req.PFN, req.Block)
 	if got := c.engine.MAC(st.ct[:], addr, cnt); got != st.mac {
 		c.TamperEvents.Inc()
-		return nil, 0, &tree.IntegrityError{
+		return AccessResult{}, &tree.IntegrityError{
 			Class:    tree.ViolationMAC,
-			Domain:   domain,
+			Domain:   req.Domain,
 			TreeLing: -1,
 			Level:    -1,
 			Node:     -1,
@@ -84,27 +203,52 @@ func (c *Controller) ReadData(now uint64, domain int, vpn, pfn uint64, block int
 			Err:      ErrMACMismatch,
 		}
 	}
-	plain := make([]byte, config.BlockBytes)
-	c.engine.DecryptBlock(plain, st.ct[:], addr, cnt)
-	return plain, lat, nil
+	c.engine.DecryptBlock(dst, st.ct[:], addr, cnt)
+	return res, nil
+}
+
+// WriteData is the positional form of WriteBlock.
+//
+// Deprecated: use WriteBlock with an AccessRequest.
+func (c *Controller) WriteData(now uint64, domain int, vpn, pfn uint64, block int, plain []byte) (int, error) {
+	res, err := c.WriteBlock(AccessRequest{
+		Now: now, Domain: domain, VPN: layout.VPN(vpn), PFN: layout.PFN(pfn), Block: block,
+	}, plain)
+	return res.Latency, err
+}
+
+// ReadData is the positional form of ReadBlock; it allocates the returned
+// plaintext buffer.
+//
+// Deprecated: use ReadBlock with an AccessRequest and a caller-owned
+// buffer.
+func (c *Controller) ReadData(now uint64, domain int, vpn, pfn uint64, block int) ([]byte, int, error) {
+	dst := make([]byte, config.BlockBytes)
+	res, err := c.ReadBlock(AccessRequest{
+		Now: now, Domain: domain, VPN: layout.VPN(vpn), PFN: layout.PFN(pfn), Block: block,
+	}, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dst, res.Latency, nil
 }
 
 // CorruptData flips a byte of a block's off-chip ciphertext (a physical
-// data-tampering attack); the next ReadData fails its MAC check.
-func (c *Controller) CorruptData(pfn uint64, block int) error {
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	st := c.dataMem()[addr]
-	if st == nil {
+// data-tampering attack); the next ReadBlock fails its MAC check.
+func (c *Controller) CorruptData(pfn layout.PFN, block int) error {
+	p := c.dataMem().page(pfn)
+	if p == nil || !p.isPresent(block) {
+		addr := uint64(pfn)<<config.PageShift | uint64(block)<<config.BlockShift
 		return fmt.Errorf("secmem: no data at %#x to corrupt", addr)
 	}
-	st.ct[0] ^= 0xff
+	p.blocks[block].ct[0] ^= 0xff
 	return nil
 }
 
 // BlockSnapshot captures a block's complete off-chip state (ciphertext,
 // MAC and counter block) for a later replay attack.
 type BlockSnapshot struct {
-	pfn   uint64
+	pfn   layout.PFN
 	block int
 	st    blockState
 	ctr   ctrSnapshot
@@ -116,14 +260,14 @@ type ctrSnapshot struct {
 }
 
 // SnapshotBlock records the current off-chip state of (pfn, block).
-func (c *Controller) SnapshotBlock(pfn uint64, block int) (*BlockSnapshot, error) {
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	st := c.dataMem()[addr]
-	if st == nil {
+func (c *Controller) SnapshotBlock(pfn layout.PFN, block int) (*BlockSnapshot, error) {
+	p := c.dataMem().page(pfn)
+	if p == nil || !p.isPresent(block) {
+		addr := uint64(pfn)<<config.PageShift | uint64(block)<<config.BlockShift
 		return nil, fmt.Errorf("secmem: no data at %#x to snapshot", addr)
 	}
 	snap := c.counters.Snapshot(pfn)
-	return &BlockSnapshot{pfn: pfn, block: block, st: *st,
+	return &BlockSnapshot{pfn: pfn, block: block, st: p.blocks[block],
 		ctr: ctrSnapshot{major: snap.Major, minors: snap.Minors}}, nil
 }
 
@@ -132,9 +276,9 @@ func (c *Controller) SnapshotBlock(pfn uint64, block int) (*BlockSnapshot, error
 // self-consistent, so the MAC check alone cannot catch it; only the
 // integrity tree (whose root is on-chip) detects the stale counter.
 func (c *Controller) ReplayBlock(s *BlockSnapshot) {
-	addr := s.pfn<<config.PageShift | uint64(s.block)<<config.BlockShift
-	st := *(&s.st)
-	c.dataMem()[addr] = &st
+	p := c.dataMem().ensure(s.pfn)
+	p.blocks[s.block] = s.st
+	p.setPresent(s.block)
 	blk := c.counters.Get(s.pfn)
 	blk.Major = s.ctr.major
 	blk.Minors = s.ctr.minors

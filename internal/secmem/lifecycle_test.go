@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 )
 
 // TestDomainLifecycleRecyclesSafely exercises the runtime construction and
@@ -27,7 +28,7 @@ func TestDomainLifecycleRecyclesSafely(t *testing.T) {
 		// Map pages, write secrets, verify.
 		for p := uint64(0); p < 50; p++ {
 			pfn := uint64(gen*50) + p
-			if _, err := c.OnPageMap(0, dom, p, pfn); err != nil {
+			if _, err := c.OnPageMap(0, dom, layout.VPN(p), layout.PFN(pfn)); err != nil {
 				t.Fatal(err)
 			}
 			buf := make([]byte, 64)
@@ -47,7 +48,7 @@ func TestDomainLifecycleRecyclesSafely(t *testing.T) {
 				t.Fatalf("gen %d page %d: stale data %d", gen, p, got[0])
 			}
 			// Unmap before destroying the domain (OS teardown order).
-			c.OnPageUnmap(0, dom, p, pfn)
+			c.OnPageUnmap(0, dom, layout.VPN(p), layout.PFN(pfn))
 		}
 		if err := c.DestroyDomain(dom); err != nil {
 			t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"ivleague/internal/config"
 	"ivleague/internal/core"
 	"ivleague/internal/ctr"
+	"ivleague/internal/layout"
 	"ivleague/internal/stats"
 	"ivleague/internal/tree"
 )
@@ -30,15 +31,19 @@ import (
 // architectural state so recovery can be asserted byte-identical to a
 // clean rerun.
 
+// pageImage is the persisted form of one frame's extended-PTE state.
+type pageImage struct {
+	pfn  layout.PFN
+	meta pageMeta
+}
+
 // Image is the persisted off-chip state of a controller at a crash point.
 type Image struct {
 	scheme    config.Scheme
 	partCount int
 	counters  *ctr.Store
-	datamem   map[uint64]*blockState
-	pageSlots map[uint64]core.SlotID
-	pageVPN   map[uint64]uint64
-	pageDom   map[uint64]int
+	datamem   *dataPlane
+	pages     []pageImage
 	partOf    map[int]int
 	forest    *tree.Forest
 	global    *tree.Global
@@ -59,23 +64,22 @@ func (c *Controller) Persist() (*Image, error) {
 		scheme:    c.scheme,
 		partCount: c.partCount,
 		counters:  c.counters.Clone(),
-		datamem:   make(map[uint64]*blockState, len(c.datamem)),
-		pageSlots: make(map[uint64]core.SlotID, len(c.pageSlots)),
-		pageVPN:   make(map[uint64]uint64, len(c.pageVPN)),
-		pageDom:   make(map[uint64]int, len(c.pageDom)),
 	}
-	for _, addr := range stats.SortedKeys(c.datamem) {
-		st := *c.datamem[addr]
-		img.datamem[addr] = &st
+	if c.datamem != nil {
+		img.datamem = c.datamem.clone()
 	}
-	for _, pfn := range stats.SortedKeys(c.pageSlots) {
-		img.pageSlots[pfn] = c.pageSlots[pfn]
-	}
-	for _, pfn := range stats.SortedKeys(c.pageVPN) {
-		img.pageVPN[pfn] = c.pageVPN[pfn]
-	}
-	for _, pfn := range stats.SortedKeys(c.pageDom) {
-		img.pageDom[pfn] = c.pageDom[pfn]
+	// Every frame with live metadata (mapped, or carrying a slot entry)
+	// is persisted in ascending PFN order.
+	for ci, ch := range c.pages.chunks {
+		if ch == nil {
+			continue
+		}
+		base := layout.PFN(ci) << pageChunkShift
+		for i := range ch {
+			if ch[i].mapped || ch[i].hasSlot {
+				img.pages = append(img.pages, pageImage{pfn: base + layout.PFN(i), meta: ch[i]})
+			}
+		}
 	}
 	if c.partOf != nil {
 		img.partOf = make(map[int]int, len(c.partOf))
@@ -111,19 +115,15 @@ func Recover(cfg *config.Config, img *Image, opts ...Option) (*Controller, error
 		return nil, err
 	}
 	c.counters = img.counters.Clone()
-	c.datamem = make(map[uint64]*blockState, len(img.datamem))
-	for _, addr := range stats.SortedKeys(img.datamem) {
-		st := *img.datamem[addr]
-		c.datamem[addr] = &st
+	if img.datamem != nil {
+		c.datamem = img.datamem.clone()
 	}
-	for _, pfn := range stats.SortedKeys(img.pageSlots) {
-		c.pageSlots[pfn] = img.pageSlots[pfn]
-	}
-	for _, pfn := range stats.SortedKeys(img.pageVPN) {
-		c.pageVPN[pfn] = img.pageVPN[pfn]
-	}
-	for _, pfn := range stats.SortedKeys(img.pageDom) {
-		c.pageDom[pfn] = img.pageDom[pfn]
+	for _, pi := range img.pages {
+		pm := c.pages.ensure(pi.pfn)
+		*pm = pi.meta
+		if pm.mapped {
+			c.pages.n++
+		}
 	}
 	if img.partOf != nil {
 		for _, id := range stats.SortedKeys(img.partOf) {
@@ -169,15 +169,21 @@ func (c *Controller) StateDigest() []byte {
 	fmt.Fprintf(&b, "scheme=%d partitions=%d\n", c.scheme, c.partCount)
 	for _, pfn := range c.counters.PFNs() {
 		blk := c.counters.Snapshot(pfn)
-		fmt.Fprintf(&b, "ctr %d major=%d minors=%x\n", pfn, blk.Major, blk.Minors)
+		fmt.Fprintf(&b, "ctr %d major=%d minors=%x\n", uint64(pfn), blk.Major, blk.Minors)
 	}
-	for _, addr := range stats.SortedKeys(c.datamem) {
-		st := c.datamem[addr]
-		fmt.Fprintf(&b, "data %#x mac=%x ct=%x\n", addr, st.mac, st.ct)
+	if c.datamem != nil {
+		c.datamem.forEach(func(pfn layout.PFN, block int, st *blockState) {
+			addr := uint64(pfn)<<config.PageShift | uint64(block)<<config.BlockShift
+			fmt.Fprintf(&b, "data %#x mac=%x ct=%x\n", addr, st.mac, st.ct)
+		})
 	}
-	for _, ref := range c.MappedPages() {
-		fmt.Fprintf(&b, "page pfn=%d dom=%d vpn=%d slot=%x\n", ref.PFN, ref.Domain, ref.VPN, uint64(c.pageSlots[ref.PFN]))
-	}
+	c.pages.forEachMapped(func(pfn layout.PFN, pm *pageMeta) {
+		slot := uint64(0)
+		if pm.hasSlot {
+			slot = uint64(pm.slot)
+		}
+		fmt.Fprintf(&b, "page pfn=%d dom=%d vpn=%d slot=%x\n", uint64(pfn), pm.dom, uint64(pm.vpn), slot)
+	})
 	for _, id := range stats.SortedKeys(c.partOf) {
 		fmt.Fprintf(&b, "part %d=%d\n", id, c.partOf[id])
 	}

@@ -5,10 +5,11 @@
 // and the three IvLeague variants (plus the BV ablations) built on
 // internal/core.
 //
-// The controller exposes one timing entry point, Access, which models the
-// full secure-memory path of an LLC miss (data fetch, counter fetch and
-// verification walk, metadata-management traffic), and functional entry
-// points used by the tamper-detection tests and examples.
+// The controller exposes one timing entry point, Do (taking an
+// AccessRequest), which models the full secure-memory path of an LLC miss
+// (data fetch, counter fetch and verification walk, metadata-management
+// traffic), and functional entry points used by the tamper-detection tests
+// and examples.
 package secmem
 
 import (
@@ -25,6 +26,73 @@ import (
 	"ivleague/internal/telemetry"
 	"ivleague/internal/tree"
 )
+
+// Page metadata lives in a two-level chunked arena indexed by PFN: a
+// directory of fixed-size chunks that materialize on first touch. Sparse
+// frame windows (static partitioning starts each domain at partition*size)
+// cost one directory slot per untouched chunk, while the steady-state
+// lookup on the access path is pure indexing — no map hashing, no
+// allocation.
+const (
+	pageChunkShift = 9
+	pageChunkSize  = 1 << pageChunkShift
+	pageChunkMask  = pageChunkSize - 1
+)
+
+// pageMeta is the extended-PTE state the controller keeps per frame: the
+// page's TreeLing slot (the LMM truth; hasSlot distinguishes "no slot" from
+// slot zero), the inverse VPN mapping needed for out-of-band LMM updates
+// (Pro migration), and the owning domain for fault/recovery attribution.
+type pageMeta struct {
+	slot    core.SlotID
+	vpn     layout.VPN
+	dom     int32
+	mapped  bool
+	hasSlot bool
+}
+
+// pageTable is the chunked frame-metadata arena.
+type pageTable struct {
+	chunks [][]pageMeta
+	n      int // mapped frames
+}
+
+// get returns the metadata entry for pfn, or nil if its chunk was never
+// touched. The returned pointer is stable until the chunk directory grows.
+func (t *pageTable) get(pfn layout.PFN) *pageMeta {
+	ci := int(pfn >> pageChunkShift)
+	if ci >= len(t.chunks) || t.chunks[ci] == nil {
+		return nil
+	}
+	return &t.chunks[ci][int(pfn&pageChunkMask)]
+}
+
+// ensure returns the metadata entry for pfn, materializing its chunk.
+func (t *pageTable) ensure(pfn layout.PFN) *pageMeta {
+	ci := int(pfn >> pageChunkShift)
+	for len(t.chunks) <= ci {
+		t.chunks = append(t.chunks, nil)
+	}
+	if t.chunks[ci] == nil {
+		t.chunks[ci] = make([]pageMeta, pageChunkSize)
+	}
+	return &t.chunks[ci][int(pfn&pageChunkMask)]
+}
+
+// forEachMapped visits every mapped frame in ascending PFN order.
+func (t *pageTable) forEachMapped(fn func(pfn layout.PFN, pm *pageMeta)) {
+	for ci, ch := range t.chunks {
+		if ch == nil {
+			continue
+		}
+		base := layout.PFN(ci) << pageChunkShift
+		for i := range ch {
+			if ch[i].mapped {
+				fn(base+layout.PFN(i), &ch[i])
+			}
+		}
+	}
+}
 
 // Controller is the secure memory controller for one simulated machine.
 // It is not safe for concurrent use; the simulation kernel serializes
@@ -52,16 +120,11 @@ type Controller struct {
 	global *tree.Global // Baseline & StaticPartition
 	forest *tree.Forest // IvLeague schemes
 
-	// pageSlots is the system's LMM truth: pfn → TreeLing slot. The paper
-	// stores this in extended PTEs; the timing of PTE residency is
-	// modelled through the LMM cache and PTE-region DRAM accesses.
-	pageSlots map[uint64]core.SlotID
-	// pageVPN tracks the inverse mapping the hardware keeps for EPC-style
-	// metadata, needed for out-of-band LMM updates (Pro migration).
-	pageVPN map[uint64]uint64
-	// pageDom records the owning domain of every mapped frame, so faults
-	// and recovery can attribute metadata to domains.
-	pageDom map[uint64]int
+	// pages is the per-frame metadata arena: TreeLing slot (the system's
+	// LMM truth — the paper stores it in extended PTEs; the timing of PTE
+	// residency is modelled through the LMM cache and PTE-region DRAM
+	// accesses), inverse VPN and owning domain.
+	pages pageTable
 
 	// Static partitioning state.
 	partOf    map[int]int // domainID → partition index
@@ -79,8 +142,8 @@ type Controller struct {
 	phases *telemetry.PhaseTimers
 
 	// Functional data plane (WithFunctional only): ciphertext + MAC per
-	// block address.
-	datamem map[uint64]*blockState
+	// block, in a chunked per-page arena.
+	datamem *dataPlane
 
 	// Statistics.
 	DataReads     stats.Counter
@@ -109,16 +172,13 @@ func New(cfg *config.Config, scheme config.Scheme, partitions int, opts ...Optio
 	}
 	lay := layout.New(cfg)
 	c := &Controller{
-		cfg:       *cfg,
-		scheme:    scheme,
-		lay:       lay,
-		dram:      dram.New(cfg.DRAM),
-		engine:    crypto.NewEngine(cfg.Crypto, cfg.Sim.Seed),
-		counters:  ctr.NewStore(cfg.SecureMem.MinorBits),
-		pageSlots: make(map[uint64]core.SlotID),
-		pageVPN:   make(map[uint64]uint64),
-		pageDom:   make(map[uint64]int),
-		PathLen:   make(map[int]*stats.Histogram),
+		cfg:      *cfg,
+		scheme:   scheme,
+		lay:      lay,
+		dram:     dram.New(cfg.DRAM),
+		engine:   crypto.NewEngine(cfg.Crypto, cfg.Sim.Seed),
+		counters: ctr.NewStore(cfg.SecureMem.MinorBits),
+		PathLen:  make(map[int]*stats.Histogram),
 	}
 	for _, o := range opts {
 		o(c)
@@ -206,10 +266,12 @@ func ivMode(s config.Scheme) (core.Mode, error) {
 type leafUpdater struct{ c *Controller }
 
 // UpdateLeaf implements core.LeafUpdater.
-func (u leafUpdater) UpdateLeaf(domainID int, pfn uint64, slot core.SlotID) {
-	u.c.pageSlots[pfn] = slot
-	if vpn, ok := u.c.pageVPN[pfn]; ok {
-		u.c.lmm.Access(domainID, vpn, true)
+func (u leafUpdater) UpdateLeaf(domainID int, pfn layout.PFN, slot core.SlotID) {
+	pm := u.c.pages.ensure(pfn)
+	pm.slot = slot
+	pm.hasSlot = true
+	if pm.mapped {
+		u.c.lmm.Access(domainID, pm.vpn, true)
 	}
 }
 
@@ -246,9 +308,12 @@ func (c *Controller) GlobalTree() *tree.Global { return c.global }
 func (c *Controller) Forest() *tree.Forest { return c.forest }
 
 // SlotOf returns the current TreeLing slot verifying pfn (IvLeague only).
-func (c *Controller) SlotOf(pfn uint64) (core.SlotID, bool) {
-	s, ok := c.pageSlots[pfn]
-	return s, ok
+func (c *Controller) SlotOf(pfn layout.PFN) (core.SlotID, bool) {
+	pm := c.pages.get(pfn)
+	if pm == nil || !pm.hasSlot {
+		return 0, false
+	}
+	return pm.slot, true
 }
 
 // Functional reports whether the functional crypto/integrity layer is on.
@@ -258,17 +323,16 @@ func (c *Controller) Functional() bool { return c.functional }
 // fault injector picks targets from.
 type PageRef struct {
 	Domain int
-	VPN    uint64
-	PFN    uint64
+	VPN    layout.VPN
+	PFN    layout.PFN
 }
 
 // MappedPages returns every mapped frame in ascending PFN order.
 func (c *Controller) MappedPages() []PageRef {
-	pfns := stats.SortedKeys(c.pageDom)
-	refs := make([]PageRef, len(pfns))
-	for i, pfn := range pfns {
-		refs[i] = PageRef{Domain: c.pageDom[pfn], VPN: c.pageVPN[pfn], PFN: pfn}
-	}
+	refs := make([]PageRef, 0, c.pages.n)
+	c.pages.forEachMapped(func(pfn layout.PFN, pm *pageMeta) {
+		refs = append(refs, PageRef{Domain: int(pm.dom), VPN: pm.vpn, PFN: pfn})
+	})
 	return refs
 }
 
@@ -321,16 +385,16 @@ func (c *Controller) DestroyDomain(id int) error {
 
 // PartitionRange returns the frame range [lo, hi) a domain may use under
 // static partitioning; under other schemes it returns the whole memory.
-func (c *Controller) PartitionRange(domainID int) (lo, hi uint64) {
+func (c *Controller) PartitionRange(domainID int) (lo, hi layout.PFN) {
 	if c.scheme != config.SchemeStaticPartition {
-		return 0, c.lay.Pages
+		return 0, layout.PFN(c.lay.Pages)
 	}
 	p, ok := c.partOf[domainID]
 	if !ok {
 		return 0, 0
 	}
 	size := c.lay.Pages / uint64(c.partCount)
-	return uint64(p) * size, uint64(p+1) * size
+	return layout.PFN(uint64(p) * size), layout.PFN(uint64(p+1) * size)
 }
 
 // SetTracer attaches an event tracer; verification walks and page

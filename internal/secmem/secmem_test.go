@@ -7,6 +7,7 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/layout"
 )
 
 func testCfg() config.Config {
@@ -41,7 +42,7 @@ func newCtl(t *testing.T, scheme config.Scheme, functional bool) *Controller {
 // mapPage is a test helper doing the OS+hardware page-mapping dance.
 func mapPage(t *testing.T, c *Controller, domain int, vpn, pfn uint64) {
 	t.Helper()
-	if _, err := c.OnPageMap(0, domain, vpn, pfn); err != nil {
+	if _, err := c.OnPageMap(0, domain, layout.VPN(vpn), layout.PFN(pfn)); err != nil {
 		t.Fatalf("OnPageMap: %v", err)
 	}
 }
@@ -182,7 +183,7 @@ func TestMetadataIsolationIvLeague(t *testing.T) {
 	for p := uint64(0); p < 200; p++ {
 		dom := 1 + int(p%2)
 		mapPage(t, c, dom, p, p)
-		slot, _ := c.SlotOf(p)
+		slot, _ := c.SlotOf(layout.PFN(p))
 		for _, n := range c.IvLeague().PathNodes(slot, nil) {
 			a, err := lay.TreeLingNodeAddr(slot.TreeLing(), n)
 			if err != nil {
@@ -205,7 +206,7 @@ func TestBaselineSharesMetadataAcrossDomains(t *testing.T) {
 	lay := c.Layout()
 	// Two adjacent pages in different domains share their leaf node when
 	// pfn/arity matches.
-	p1, p2 := uint64(16), uint64(17)
+	p1, p2 := layout.PFN(16), layout.PFN(17)
 	if lay.GlobalNodeIndex(p1, 1) != lay.GlobalNodeIndex(p2, 1) {
 		t.Fatal("test pages should share a leaf")
 	}
@@ -469,7 +470,7 @@ func TestResetStatsEquivalentToFresh(t *testing.T) {
 				}
 				lo, _ := c.PartitionRange(dom)
 				for v := uint64(0); v < 6; v++ {
-					pfn := lo + uint64(dom-1) + 2*v // disjoint across domains
+					pfn := uint64(lo) + uint64(dom-1) + 2*v // disjoint across domains
 					mapPage(t, c, dom, v, pfn)
 					if _, err := c.Access(v, dom, v, pfn, 0, true); err != nil {
 						t.Fatal(err)
@@ -482,7 +483,7 @@ func TestResetStatsEquivalentToFresh(t *testing.T) {
 			c.FlushMetadata() // force re-verification traffic on the next reads
 			for dom := 1; dom <= 2; dom++ {
 				lo, _ := c.PartitionRange(dom)
-				if _, err := c.Access(500, dom, 0, lo+uint64(dom-1), 0, false); err != nil {
+				if _, err := c.Access(500, dom, 0, uint64(lo)+uint64(dom-1), 0, false); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -1,0 +1,60 @@
+package secmem
+
+import (
+	"testing"
+
+	"ivleague/internal/config"
+	"ivleague/internal/layout"
+)
+
+// The access-path API v2 contract: once a working set is mapped and the
+// metadata caches are warm, Do allocates nothing — the OpList, the tree
+// arenas, the chunked NFLB state, and the LMM all reuse storage. Any
+// allocation on this path is a regression (the hotalloc lint analyzer
+// catches the static patterns; this test backstops everything it cannot
+// see, such as interface conversions and map growth inside dependencies).
+func TestSteadyStateAccessAllocsZero(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme config.Scheme
+	}{
+		{"baseline", config.SchemeBaseline},
+		{"basic", config.SchemeIvLeagueBasic},
+		{"invert", config.SchemeIvLeagueInvert},
+		{"pro", config.SchemeIvLeaguePro},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCtl(t, tc.scheme, false)
+			if err := c.CreateDomain(1); err != nil {
+				t.Fatal(err)
+			}
+			const pages = 8
+			for i := uint64(0); i < pages; i++ {
+				mapPage(t, c, 1, i, 100+i)
+			}
+			now := uint64(1)
+			access := func() {
+				for i := uint64(0); i < pages; i++ {
+					req := AccessRequest{
+						Now: now, Domain: 1,
+						VPN: layout.VPN(i), PFN: layout.PFN(100 + i),
+						Block: int(i) % config.BlocksPerPage,
+						Write: i%2 == 0,
+					}
+					if _, err := c.Do(req); err != nil {
+						t.Fatalf("Do(%d): %v", i, err)
+					}
+					now++
+				}
+			}
+			// Warm the counters, LMM, NFLB chunks, and (under Pro) let the
+			// hotpage machinery reach its fixed point on this working set.
+			for r := 0; r < 64; r++ {
+				access()
+			}
+			if avg := testing.AllocsPerRun(32, access); avg != 0 {
+				t.Fatalf("steady-state access allocates: %v allocs per %d-page rotation", avg, pages)
+			}
+		})
+	}
+}

@@ -6,27 +6,37 @@ import (
 
 	"ivleague/internal/config"
 	"ivleague/internal/core"
+	"ivleague/internal/layout"
 )
 
 // This file collects the physical-attack primitives the fault-injection
 // engine (internal/faults) drives: each one mutates the simulated off-chip
 // backing store the way a bus-level or cold-boot attacker would, without
 // going through the controller's maintenance paths. Detection happens on
-// the next verified access (ReadData after FlushMetadata), never here.
+// the next verified access (ReadBlock after FlushMetadata), never here.
 
 // ErrNoTamperTarget is returned when the requested tamper target does not
 // exist (never-written block, unmapped page, scheme without the structure).
 var ErrNoTamperTarget = errors.New("secmem: no such tamper target")
 
+// tamperBlock returns the live block state at (pfn, block), or nil.
+func (c *Controller) tamperBlock(pfn layout.PFN, block int) *blockState {
+	p := c.dataMem().page(pfn)
+	if p == nil || !p.isPresent(block) {
+		return nil
+	}
+	return &p.blocks[block]
+}
+
 // FlipDataBit flips one bit of a block's off-chip ciphertext. The next
 // authenticated read fails its MAC check.
-func (c *Controller) FlipDataBit(pfn uint64, block, bit int) error {
+func (c *Controller) FlipDataBit(pfn layout.PFN, block, bit int) error {
 	if bit < 0 || bit >= config.BlockBytes*8 {
 		return fmt.Errorf("secmem: bit %d out of range", bit)
 	}
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	st := c.dataMem()[addr]
+	st := c.tamperBlock(pfn, block)
 	if st == nil {
+		addr := uint64(pfn)<<config.PageShift | uint64(block)<<config.BlockShift
 		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, addr)
 	}
 	st.ct[bit/8] ^= 1 << uint(bit%8)
@@ -35,10 +45,10 @@ func (c *Controller) FlipDataBit(pfn uint64, block, bit int) error {
 
 // CorruptMAC flips one bit of a block's stored MAC (the authentication tag
 // itself is attacked, the ciphertext left intact).
-func (c *Controller) CorruptMAC(pfn uint64, block, bit int) error {
-	addr := pfn<<config.PageShift | uint64(block)<<config.BlockShift
-	st := c.dataMem()[addr]
+func (c *Controller) CorruptMAC(pfn layout.PFN, block, bit int) error {
+	st := c.tamperBlock(pfn, block)
 	if st == nil {
+		addr := uint64(pfn)<<config.PageShift | uint64(block)<<config.BlockShift
 		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, addr)
 	}
 	st.mac ^= 1 << uint(bit&63)
@@ -49,18 +59,18 @@ func (c *Controller) CorruptMAC(pfn uint64, block, bit int) error {
 // the classic splicing attack. Both triples are individually valid, but
 // the MAC binds the block's address, so the destination's next read fails
 // authentication.
-func (c *Controller) SpliceData(srcPfn uint64, srcBlock int, dstPfn uint64, dstBlock int) error {
-	srcAddr := srcPfn<<config.PageShift | uint64(srcBlock)<<config.BlockShift
-	dstAddr := dstPfn<<config.PageShift | uint64(dstBlock)<<config.BlockShift
-	src := c.dataMem()[srcAddr]
+func (c *Controller) SpliceData(srcPfn layout.PFN, srcBlock int, dstPfn layout.PFN, dstBlock int) error {
+	src := c.tamperBlock(srcPfn, srcBlock)
 	if src == nil {
+		srcAddr := uint64(srcPfn)<<config.PageShift | uint64(srcBlock)<<config.BlockShift
 		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, srcAddr)
 	}
-	if c.dataMem()[dstAddr] == nil {
+	dst := c.tamperBlock(dstPfn, dstBlock)
+	if dst == nil {
+		dstAddr := uint64(dstPfn)<<config.PageShift | uint64(dstBlock)<<config.BlockShift
 		return fmt.Errorf("%w: no data at %#x", ErrNoTamperTarget, dstAddr)
 	}
-	cp := *src
-	c.dataMem()[dstAddr] = &cp
+	*dst = *src
 	return nil
 }
 
@@ -68,10 +78,10 @@ func (c *Controller) SpliceData(srcPfn uint64, srcBlock int, dstPfn uint64, dstB
 // without the tree/MAC maintenance a legitimate increment performs. The
 // next verification walk over the page finds the counter-block hash
 // disagreeing with the tree.
-func (c *Controller) TamperCounter(pfn uint64, block int) error {
+func (c *Controller) TamperCounter(pfn layout.PFN, block int) error {
 	blk := c.counters.Peek(pfn)
 	if blk == nil {
-		return fmt.Errorf("%w: no counter block for pfn %d", ErrNoTamperTarget, pfn)
+		return fmt.Errorf("%w: no counter block for pfn %d", ErrNoTamperTarget, uint64(pfn))
 	}
 	blk.Minors[block&(config.BlocksPerPage-1)]++
 	return nil
@@ -81,14 +91,15 @@ func (c *Controller) TamperCounter(pfn uint64, block int) error {
 // forged slot — a software-level attack on the LMM. It returns the slot
 // that was there, so tests can restore it. The forged slot misdirects the
 // next verification walk, which fails against the (untampered) tree.
-func (c *Controller) TamperLMM(pfn uint64, forged core.SlotID) (core.SlotID, error) {
+func (c *Controller) TamperLMM(pfn layout.PFN, forged core.SlotID) (core.SlotID, error) {
 	if c.ivc == nil {
 		return core.InvalidSlot, fmt.Errorf("%w: scheme has no LMM", ErrNoTamperTarget)
 	}
-	old, ok := c.pageSlots[pfn]
-	if !ok {
-		return core.InvalidSlot, fmt.Errorf("%w: pfn %d has no LMM entry", ErrNoTamperTarget, pfn)
+	pm := c.pages.get(pfn)
+	if pm == nil || !pm.hasSlot {
+		return core.InvalidSlot, fmt.Errorf("%w: pfn %d has no LMM entry", ErrNoTamperTarget, uint64(pfn))
 	}
-	c.pageSlots[pfn] = forged
+	old := pm.slot
+	pm.slot = forged
 	return old, nil
 }

@@ -1,0 +1,35 @@
+package secmem
+
+import (
+	"testing"
+
+	"ivleague/internal/config"
+	"ivleague/internal/layout"
+)
+
+// OnPageMap(now, domain, vpn, pfn) carried four positional integers under
+// the v1 API; transposing vpn and pfn compiled and mapped the wrong frame.
+// With the typed IDs the transposition is a compile error, and the
+// AccessRequest struct names every field so Do cannot be mis-ordered at
+// all. This pins the behavior with asymmetric values (vpn 5, pfn 9): under
+// a swap, SlotOf would know frame 5, not frame 9.
+func TestOnPageMapSwapProof(t *testing.T) {
+	c := newCtl(t, config.SchemeIvLeagueBasic, false)
+	if err := c.CreateDomain(1); err != nil {
+		t.Fatal(err)
+	}
+	vpn, pfn := layout.VPN(5), layout.PFN(9)
+	if _, err := c.OnPageMap(0, 1, vpn, pfn); err != nil { // OnPageMap(0, 1, pfn, vpn) does not compile
+		t.Fatal(err)
+	}
+	if _, ok := c.SlotOf(pfn); !ok {
+		t.Fatalf("mapped frame %d has no verification slot", pfn)
+	}
+	if slot, ok := c.SlotOf(layout.PFN(uint64(vpn))); ok {
+		t.Fatalf("SlotOf(PFN(%d)) = %v: the VPN value was mapped as a frame (arguments swapped)", vpn, slot)
+	}
+	res, err := c.Do(AccessRequest{Now: 1, Domain: 1, VPN: vpn, PFN: pfn, Write: true})
+	if err != nil || res.Latency <= 0 {
+		t.Fatalf("Do on the mapped page: latency %d, err %v", res.Latency, err)
+	}
+}

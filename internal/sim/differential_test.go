@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ivleague/internal/config"
+)
+
+// allSchemes is the full scheme matrix of the paper's evaluation.
+var allSchemes = []config.Scheme{
+	config.SchemeBaseline, config.SchemeStaticPartition,
+	config.SchemeIvLeagueBasic, config.SchemeIvLeagueInvert, config.SchemeIvLeaguePro,
+	config.SchemeBVv1, config.SchemeBVv2,
+}
+
+// Every scheme runs the quick workload twice on functional memory; the two
+// runs must agree on the full sim.Result fingerprint AND on the
+// controller's StateDigest (counters, tree images, on-chip roots, page
+// metadata). This is the system-level half of the arena differential: the
+// tree-level shadow test (internal/tree) proves the arenas match the seed's
+// map-backed representation op for op, and this test proves the whole
+// access path on top of them stays bit-stable across runs for every scheme.
+func TestSchemesResultAndStateDigestStable(t *testing.T) {
+	cfg := quickCfg()
+	mix := smallMix(t)
+	for _, scheme := range allSchemes {
+		run := func() (Result, []byte) {
+			t.Helper()
+			m, err := NewMachine(&cfg, scheme, mix, 0, WithFunctionalMem())
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			res := m.Run()
+			if res.Failed {
+				t.Fatalf("%v failed: %s", scheme, res.FailMsg)
+			}
+			return res, m.Mem().StateDigest()
+		}
+		r1, d1 := run()
+		r2, d2 := run()
+		if !bytes.Equal(d1, d2) {
+			t.Fatalf("%v: StateDigest diverged across identical runs:\n  %x\n  %x", scheme, d1, d2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%v: sim.Result fingerprint diverged across identical runs:\n  %+v\n  %+v", scheme, r1, r2)
+		}
+	}
+}

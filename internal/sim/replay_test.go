@@ -134,7 +134,7 @@ func TestReplayDetectsMidTraceTamper(t *testing.T) {
 		// Corrupt the leaf tree slot of every mapped page, so whichever
 		// page the trace touches next fails its verification walk.
 		for _, p := range c.MappedPages() {
-			c.GlobalTree().Corrupt(1, lay.GlobalNodeIndex(p.PFN, 1), int(p.PFN%uint64(lay.Arity)), 0xdead)
+			c.GlobalTree().Corrupt(1, lay.GlobalNodeIndex(p.PFN, 1), int(uint64(p.PFN)%uint64(lay.Arity)), 0xdead)
 		}
 		c.FlushMetadata()
 		tampered = true

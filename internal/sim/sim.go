@@ -13,6 +13,7 @@ import (
 
 	"ivleague/internal/cache"
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/osmodel"
 	"ivleague/internal/pagetable"
 	"ivleague/internal/secmem"
@@ -38,8 +39,59 @@ type EventSource interface {
 // owner records which (domain, vpn) a physical frame belongs to, so LLC
 // dirty writebacks can be attributed for the secure write path.
 type owner struct {
-	domain int
-	vpn    uint64
+	vpn    layout.VPN
+	domain int32
+	valid  bool
+}
+
+// ownerTable is a chunked PFN-indexed arena of frame owners: directory
+// chunks materialize on first touch, so the dense frame ranges of the
+// shared allocator and the sparse windows of static partitioning both
+// index in O(1) with no map hashing on the writeback hot path.
+const (
+	ownerChunkShift = 9
+	ownerChunkSize  = 1 << ownerChunkShift
+	ownerChunkMask  = ownerChunkSize - 1
+)
+
+type ownerTable struct {
+	chunks [][]owner
+}
+
+func (t *ownerTable) get(pfn layout.PFN) *owner {
+	ci := int(pfn >> ownerChunkShift)
+	if ci >= len(t.chunks) || t.chunks[ci] == nil {
+		return nil
+	}
+	return &t.chunks[ci][int(pfn&ownerChunkMask)]
+}
+
+func (t *ownerTable) set(pfn layout.PFN, domain int, vpn layout.VPN) {
+	ci := int(pfn >> ownerChunkShift)
+	for len(t.chunks) <= ci {
+		t.chunks = append(t.chunks, nil)
+	}
+	if t.chunks[ci] == nil {
+		t.chunks[ci] = make([]owner, ownerChunkSize)
+	}
+	t.chunks[ci][int(pfn&ownerChunkMask)] = owner{vpn: vpn, domain: int32(domain), valid: true}
+}
+
+func (t *ownerTable) del(pfn layout.PFN) {
+	if o := t.get(pfn); o != nil {
+		*o = owner{}
+	}
+}
+
+// forEach visits every valid owner entry in ascending pfn order.
+func (t *ownerTable) forEach(fn func(pfn layout.PFN, o owner)) {
+	for ci, chunk := range t.chunks {
+		for i := range chunk {
+			if chunk[i].valid {
+				fn(layout.PFN(ci<<ownerChunkShift|i), chunk[i])
+			}
+		}
+	}
 }
 
 // thread is one hardware context: an event source bound to a process and
@@ -70,7 +122,7 @@ type Machine struct {
 	frames  *osmodel.FrameAllocator
 	domFr   map[int]*osmodel.FrameAllocator // static partitioning
 	over    *osmodel.FrameAllocator         // static overflow (swapped)
-	owners  map[uint64]owner
+	owners  ownerTable
 
 	pendingLat int
 	pendingErr error
@@ -209,7 +261,6 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		cfg:     *cfg,
 		scheme:  scheme,
 		mem:     mem,
-		owners:  make(map[uint64]owner),
 		opHooks: mo.opHooks,
 		phases:  mo.phases,
 		ctx:     mo.ctx,
@@ -226,9 +277,9 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 		m.domFr = make(map[int]*osmodel.FrameAllocator)
 		// Frames beyond all partitions (none by construction): overflow
 		// shares the last partition tail; swaps are charged by secmem.
-		m.over = osmodel.NewFrameAllocator(0, lay.Pages)
+		m.over = osmodel.NewFrameAllocator(0, layout.PFN(lay.Pages))
 	} else {
-		m.frames = osmodel.NewFrameAllocator(0, lay.Pages)
+		m.frames = osmodel.NewFrameAllocator(0, layout.PFN(lay.Pages))
 	}
 
 	coreIdx := 0
@@ -272,17 +323,17 @@ func NewMachine(cfg *config.Config, scheme config.Scheme, mix workload.Mix, part
 				return nil, err
 			}
 			dom := domain
-			t.tlb.OnEvict = func(vpn uint64) { mem.TLBEvicted(dom, vpn) }
+			t.tlb.OnEvict = func(vpn layout.VPN) { mem.TLBEvicted(dom, vpn) }
 			gen.OnFreeRange = func(vpnStart uint64, n int) {
 				for v := vpnStart; v < vpnStart+uint64(n); v++ {
-					ok, err := t.proc.Unmap(v)
+					ok, err := t.proc.Unmap(layout.VPN(v))
 					// Generators may free never-touched pages; only real
 					// accounting corruption fails the run.
 					if err != nil && !errors.Is(err, osmodel.ErrNotMapped) && m.pendingErr == nil {
 						m.pendingErr = err
 					}
 					if ok {
-						t.tlb.Invalidate(v)
+						t.tlb.Invalidate(layout.VPN(v))
 					}
 				}
 			}
@@ -353,8 +404,8 @@ func (m *Machine) Registry() *telemetry.Registry { return m.reg }
 // WithPhaseTimers was given).
 func (m *Machine) PhaseTimers() *telemetry.PhaseTimers { return m.phases }
 
-func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
-	m.owners[pfn] = owner{domain: domain, vpn: vpn}
+func (m *Machine) onPageMap(domain int, vpn layout.VPN, pfn layout.PFN) {
+	m.owners.set(pfn, domain, vpn)
 	lat, err := m.mem.OnPageMap(m.now(), domain, vpn, pfn)
 	m.pendingLat += lat
 	if err != nil {
@@ -362,13 +413,13 @@ func (m *Machine) onPageMap(domain int, vpn, pfn uint64) {
 	}
 }
 
-func (m *Machine) onPageUnmap(domain int, vpn, pfn uint64) {
+func (m *Machine) onPageUnmap(domain int, vpn layout.VPN, pfn layout.PFN) {
 	lat, err := m.mem.OnPageUnmap(m.now(), domain, vpn, pfn)
 	m.pendingLat += lat
 	if err != nil && m.pendingErr == nil {
 		m.pendingErr = err
 	}
-	delete(m.owners, pfn)
+	m.owners.del(pfn)
 }
 
 // now approximates global time as the max per-thread cycle count.
@@ -390,6 +441,8 @@ func (m *Machine) RecordTrace(w io.Writer) *trace.Writer {
 }
 
 // step advances one thread by one instruction.
+//
+//ivlint:hotpath
 func (m *Machine) step(t *thread) error {
 	ev := t.gen.Next()
 	// Churn-phase unmaps run inside Next (OnFreeRange); surface any error
@@ -414,9 +467,10 @@ func (m *Machine) step(t *thread) error {
 		}
 	}
 	// Translation.
-	pfn, hit := t.tlb.Lookup(ev.VPN)
+	vpn := layout.VPN(ev.VPN)
+	pfn, hit := t.tlb.Lookup(vpn)
 	if !hit {
-		p, fault, err := t.proc.Touch(ev.VPN)
+		p, fault, err := t.proc.Touch(vpn)
 		if err != nil {
 			return fmt.Errorf("sim: %s: %w", t.bench, err)
 		}
@@ -425,8 +479,8 @@ func (m *Machine) step(t *thread) error {
 			m.pendingErr = nil
 			return fmt.Errorf("sim: %s: %w", t.bench, err)
 		}
-		t.tlb.Insert(ev.VPN, p)
-		m.mem.OnPageWalk(t.proc.DomainID, ev.VPN)
+		t.tlb.Insert(vpn, p)
+		m.mem.OnPageWalk(t.proc.DomainID, vpn)
 		t.cycles += float64(cc.TLBPenality + t.proc.Table.Depth()*cc.PTWalkCost)
 		m.CycTLB += float64(cc.TLBPenality + t.proc.Table.Depth()*cc.PTWalkCost)
 		if fault {
@@ -436,7 +490,7 @@ func (m *Machine) step(t *thread) error {
 		m.pendingLat = 0
 		pfn = p
 	}
-	addr := pfn<<config.PageShift | uint64(ev.Block)<<config.BlockShift
+	addr := uint64(pfn)<<config.PageShift | uint64(ev.Block)<<config.BlockShift
 	dom := t.proc.DomainID
 	opStart := t.cycles
 
@@ -467,11 +521,14 @@ func (m *Machine) step(t *thread) error {
 		if r3.Hit {
 			missLat = float64(cc.L3Latency)
 		} else {
-			lat, err := m.mem.Access(uint64(t.cycles), dom, ev.VPN, pfn, ev.Block, false)
+			res, err := m.mem.Do(secmem.AccessRequest{
+				Now: uint64(t.cycles), Domain: dom, VPN: vpn, PFN: pfn,
+				Block: ev.Block, Write: false,
+			})
 			if err != nil {
 				return fmt.Errorf("sim: %s: %w", t.bench, err)
 			}
-			missLat = float64(cc.L3Latency) + float64(lat)
+			missLat = float64(cc.L3Latency) + float64(res.Latency)
 		}
 	}
 	t.cycles += float64(cc.L1Latency) + (1-cc.MLP)*missLat
@@ -516,14 +573,17 @@ func (m *Machine) writeback(t *thread, lower *cache.Cache, addr uint64) {
 
 // memWriteback sends an LLC dirty victim through the secure write path.
 func (m *Machine) memWriteback(t *thread, addr uint64) {
-	pfn := addr >> config.PageShift
-	o, ok := m.owners[pfn]
-	if !ok {
+	pfn := layout.PFN(addr >> config.PageShift)
+	o := m.owners.get(pfn)
+	if o == nil || !o.valid {
 		return // the page was freed; drop the stale line
 	}
 	block := int(addr>>config.BlockShift) & (config.BlocksPerPage - 1)
 	smT := m.phases.Start()
-	lat, err := m.mem.Access(uint64(t.cycles), o.domain, o.vpn, pfn, block, true)
+	res, err := m.mem.Do(secmem.AccessRequest{
+		Now: uint64(t.cycles), Domain: int(o.domain), VPN: o.vpn, PFN: pfn,
+		Block: block, Write: true,
+	})
 	m.phases.End(telemetry.PhaseSecMem, smT)
 	if err != nil {
 		// Writebacks happen off the instruction path; latch the error so
@@ -534,8 +594,8 @@ func (m *Machine) memWriteback(t *thread, addr uint64) {
 		}
 		return
 	}
-	t.cycles += wbChargeFraction * float64(lat)
-	m.CycWb += wbChargeFraction * float64(lat)
+	t.cycles += wbChargeFraction * float64(res.Latency)
+	m.CycWb += wbChargeFraction * float64(res.Latency)
 }
 
 // Result summarizes one run.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ivleague/internal/config"
+	"ivleague/internal/layout"
 	"ivleague/internal/workload"
 )
 
@@ -33,12 +34,12 @@ func TestStaticPartitionConfinesFrames(t *testing.T) {
 	}
 	// Every mapped frame must lie inside its domain's partition (no
 	// swap penalties expected at this footprint scale).
-	for pfn, o := range m.owners {
-		lo, hi := m.mem.PartitionRange(o.domain)
+	m.owners.forEach(func(pfn layout.PFN, o owner) {
+		lo, hi := m.mem.PartitionRange(int(o.domain))
 		if pfn < lo || pfn >= hi {
 			t.Fatalf("frame %d of domain %d outside partition [%d,%d)", pfn, o.domain, lo, hi)
 		}
-	}
+	})
 	if res.Swaps != 0 {
 		t.Fatalf("unexpected swap penalties: %d", res.Swaps)
 	}
@@ -123,8 +124,10 @@ func TestWritebackOwnersCleanedOnUnmap(t *testing.T) {
 	for _, th := range m.threads {
 		mapped += th.proc.Mapped()
 	}
-	if uint64(len(m.owners)) != mapped {
-		t.Fatalf("owner table has %d entries, %d pages mapped", len(m.owners), mapped)
+	entries := uint64(0)
+	m.owners.forEach(func(layout.PFN, owner) { entries++ })
+	if entries != mapped {
+		t.Fatalf("owner table has %d entries, %d pages mapped", entries, mapped)
 	}
 }
 

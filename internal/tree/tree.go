@@ -1,6 +1,9 @@
-// Package tree implements the functional integrity-tree substrate: a
-// slotted hash store, the global Bonsai Merkle Tree used by the Baseline
-// scheme, and the hash forest the IvLeague TreeLings live in.
+// Package tree implements the functional integrity-tree substrate: the
+// global Bonsai Merkle Tree used by the Baseline scheme and the hash
+// forest the IvLeague TreeLings live in, both backed by dense slot arenas
+// addressed with (TreeLing, node, slot) / (level, index, slot) arithmetic.
+// The map-backed SlotStore survives as the reference implementation the
+// differential tests shadow the arenas against.
 //
 // The functional layer maintains real (non-cryptographic but strongly
 // mixing) hashes so that tamper-detection semantics can be tested
@@ -22,6 +25,10 @@ import (
 // SlotStore is a sparse map from node key to the node's hash slots. Keys
 // are caller-defined (the global tree and the TreeLing forest use different
 // encodings). Absent nodes read as all-zero slots.
+//
+// It is the map-backed reference store the arena-backed Forest/Global
+// replaced on the access path; the differential tests replay the same
+// operations through both and compare digests.
 type SlotStore struct {
 	arity int
 	nodes map[uint64][]uint64
@@ -96,9 +103,9 @@ func (s *SlotStore) Clone() *SlotStore {
 
 // CounterBlockHash hashes a counter block's contents together with its
 // page frame number (binding position, preventing splicing).
-func CounterBlockHash(pfn uint64, b ctr.Block) uint64 {
+func CounterBlockHash(pfn layout.PFN, b ctr.Block) uint64 {
 	parts := make([]uint64, 0, 2+len(b.Minors)/8)
-	parts = append(parts, pfn, b.Major)
+	parts = append(parts, uint64(pfn), b.Major)
 	var acc uint64
 	for i, m := range b.Minors {
 		acc = acc<<8 | uint64(m)
@@ -110,13 +117,33 @@ func CounterBlockHash(pfn uint64, b ctr.Block) uint64 {
 	return crypto.NodeHash(parts...)
 }
 
+// gchunkShift sizes the global tree's node chunks: 64 nodes per chunk keeps
+// lazy materialization (only touched verification paths cost memory) while
+// a chunk's slots stay one dense array.
+const (
+	gchunkShift = 6
+	gchunkNodes = 1 << gchunkShift
+	gchunkMask  = gchunkNodes - 1
+)
+
+// gchunk is one run of gchunkNodes consecutive nodes of one global-tree
+// level: a dense slot array plus per-node materialization flags. Absent
+// and dropped nodes keep all-zero slots, so reads never need the flag.
+type gchunk struct {
+	slots []uint64 // gchunkNodes * arity
+	has   []bool
+}
+
 // Global is the functional global Bonsai Merkle Tree of the Baseline
 // scheme: statically addressed, built over every page's counter block,
-// with the single root held on-chip.
+// with the single root held on-chip. Node storage is a per-level chunked
+// arena indexed by (level, index, slot) arithmetic.
 type Global struct {
-	lay   *layout.Layout
-	store *SlotStore
-	root  uint64 // on-chip root hash
+	lay    *layout.Layout
+	arity  int
+	levels [][]*gchunk // [level][chunk]; level 0 unused
+	zero   []uint64    // shared all-zero node, read-only
+	root   uint64      // on-chip root hash
 
 	// Functional-layer statistics (leaf updates and verifications).
 	Updates  stats.Counter
@@ -137,7 +164,12 @@ func (g *Global) ResetStats() {
 
 // NewGlobal creates the functional global tree for a layout.
 func NewGlobal(lay *layout.Layout) *Global {
-	g := &Global{lay: lay, store: NewSlotStore(lay.Arity)}
+	g := &Global{
+		lay:    lay,
+		arity:  lay.Arity,
+		levels: make([][]*gchunk, lay.GlobalLevels+1),
+		zero:   make([]uint64, lay.Arity),
+	}
 	g.root = g.levelNodeHash(g.lay.GlobalLevels, 0)
 	return g
 }
@@ -146,22 +178,73 @@ func globalKey(level int, idx uint64) uint64 {
 	return uint64(level)<<56 | idx
 }
 
+// peek returns the chunk holding (level, idx), or nil if untouched.
+func (g *Global) peek(level int, idx uint64) *gchunk {
+	ci := int(idx >> gchunkShift)
+	lv := g.levels[level]
+	if ci >= len(lv) {
+		return nil
+	}
+	return lv[ci]
+}
+
+// ensure returns the chunk holding (level, idx), materializing it.
+func (g *Global) ensure(level int, idx uint64) *gchunk {
+	ci := int(idx >> gchunkShift)
+	for len(g.levels[level]) <= ci {
+		//ivlint:allow hotalloc — lazy chunk-directory growth: bounded by the tree geometry, quiesces after warmup
+		g.levels[level] = append(g.levels[level], nil)
+	}
+	if g.levels[level][ci] == nil {
+		g.levels[level][ci] = &gchunk{
+			slots: make([]uint64, gchunkNodes*g.arity),
+			has:   make([]bool, gchunkNodes),
+		}
+	}
+	return g.levels[level][ci]
+}
+
+func (g *Global) slot(level int, idx uint64, slot int) uint64 {
+	c := g.peek(level, idx)
+	if c == nil {
+		return 0
+	}
+	return c.slots[int(idx&gchunkMask)*g.arity+slot]
+}
+
+func (g *Global) setSlot(level int, idx uint64, slot int, h uint64) {
+	c := g.ensure(level, idx)
+	c.has[idx&gchunkMask] = true
+	c.slots[int(idx&gchunkMask)*g.arity+slot] = h
+}
+
+func (g *Global) has(level int, idx uint64) bool {
+	c := g.peek(level, idx)
+	return c != nil && c.has[idx&gchunkMask]
+}
+
 func (g *Global) levelNodeHash(level int, idx uint64) uint64 {
-	return g.store.NodeHash(globalKey(level, idx))
+	c := g.peek(level, idx)
+	if c == nil {
+		return crypto.NodeHash(g.zero...)
+	}
+	off := int(idx&gchunkMask) * g.arity
+	return crypto.NodeHash(c.slots[off : off+g.arity]...)
 }
 
 // Update recomputes the verification path of page pfn after its counter
 // block changed, ending with a new on-chip root.
-func (g *Global) Update(pfn uint64, blk ctr.Block) {
+//
+//ivlint:hotpath
+func (g *Global) Update(pfn layout.PFN, blk ctr.Block) {
 	g.Updates.Inc()
 	h := CounterBlockHash(pfn, blk)
-	idx := pfn
+	idx := uint64(pfn)
 	for level := 1; level <= g.lay.GlobalLevels; level++ {
 		slot := int(idx % uint64(g.lay.Arity))
 		idx /= uint64(g.lay.Arity)
-		key := globalKey(level, idx)
-		g.store.SetSlot(key, slot, h)
-		h = g.store.NodeHash(key)
+		g.setSlot(level, idx, slot, h)
+		h = g.levelNodeHash(level, idx)
 	}
 	g.root = h
 }
@@ -169,19 +252,20 @@ func (g *Global) Update(pfn uint64, blk ctr.Block) {
 // Verify walks page pfn's path from leaf to root and reports whether every
 // link matches, i.e. whether the counter block (and hence the data it
 // authenticates) is fresh and untampered.
-func (g *Global) Verify(pfn uint64, blk ctr.Block) error {
+//
+//ivlint:hotpath
+func (g *Global) Verify(pfn layout.PFN, blk ctr.Block) error {
 	g.Verifies.Inc()
 	h := CounterBlockHash(pfn, blk)
-	idx := pfn
+	idx := uint64(pfn)
 	for level := 1; level <= g.lay.GlobalLevels; level++ {
 		slot := int(idx % uint64(g.lay.Arity))
 		idx /= uint64(g.lay.Arity)
-		key := globalKey(level, idx)
-		if got := g.store.Slot(key, slot); got != h {
+		if got := g.slot(level, idx, slot); got != h {
 			return newIntegrityError(ViolationTreeNode, -1, level, int(idx), slot,
 				g.nodeAddr(level, idx), "stored slot disagrees with recomputed path hash")
 		}
-		h = g.store.NodeHash(key)
+		h = g.levelNodeHash(level, idx)
 	}
 	if h != g.root {
 		return newIntegrityError(ViolationRoot, -1, g.lay.GlobalLevels, 0, -1,
@@ -204,28 +288,69 @@ func (g *Global) Root() uint64 { return g.root }
 // Clone deep-copies the global tree: the persisted node image plus the
 // on-chip root register (which RecoverRoot rebuilds from the image alone).
 func (g *Global) Clone() *Global {
-	return &Global{lay: g.lay, store: g.store.Clone(), root: g.root}
+	c := &Global{
+		lay:    g.lay,
+		arity:  g.arity,
+		levels: make([][]*gchunk, len(g.levels)),
+		zero:   g.zero,
+		root:   g.root,
+	}
+	for level, lv := range g.levels {
+		if lv == nil {
+			continue
+		}
+		c.levels[level] = make([]*gchunk, len(lv))
+		for ci, ch := range lv {
+			if ch == nil {
+				continue
+			}
+			cp := &gchunk{
+				slots: make([]uint64, len(ch.slots)),
+				has:   make([]bool, len(ch.has)),
+			}
+			copy(cp.slots, ch.slots)
+			copy(cp.has, ch.has)
+			c.levels[level][ci] = cp
+		}
+	}
+	return c
+}
+
+// forEachNode visits every materialized node in ascending (level, idx)
+// order — the same order the map-backed store's sorted keys produced.
+func (g *Global) forEachNode(fn func(level int, idx uint64)) {
+	for level := 1; level < len(g.levels); level++ {
+		for ci, ch := range g.levels[level] {
+			if ch == nil {
+				continue
+			}
+			for n := 0; n < gchunkNodes; n++ {
+				if ch.has[n] {
+					fn(level, uint64(ci)<<gchunkShift|uint64(n))
+				}
+			}
+		}
+	}
 }
 
 // VerifyImage checks the internal hash-chain consistency of the persisted
 // node image: every materialized non-top node's hash must equal the slot
 // its parent holds. An inconsistency means the image was torn mid-update.
 func (g *Global) VerifyImage() error {
-	for _, key := range g.store.Keys() {
-		level := int(key >> 56)
-		idx := key & (1<<56 - 1)
-		if level >= g.lay.GlobalLevels {
-			continue
+	var verr error
+	g.forEachNode(func(level int, idx uint64) {
+		if verr != nil || level >= g.lay.GlobalLevels {
+			return
 		}
-		pkey := globalKey(level+1, idx/uint64(g.lay.Arity))
+		pidx := idx / uint64(g.lay.Arity)
 		slot := int(idx % uint64(g.lay.Arity))
-		if g.store.Slot(pkey, slot) != g.store.NodeHash(key) {
-			return newIntegrityError(ViolationTorn, -1, level+1, int(idx/uint64(g.lay.Arity)), slot,
-				g.nodeAddr(level+1, idx/uint64(g.lay.Arity)),
+		if g.slot(level+1, pidx, slot) != g.levelNodeHash(level, idx) {
+			verr = newIntegrityError(ViolationTorn, -1, level+1, int(pidx), slot,
+				g.nodeAddr(level+1, pidx),
 				"persisted parent link disagrees with child hash (torn image)")
 		}
-	}
-	return nil
+	})
+	return verr
 }
 
 // RecoverRoot rebuilds the on-chip root register from the persisted top
@@ -241,17 +366,28 @@ func (g *Global) RecoverRoot() (uint64, error) {
 // Corrupt overwrites the stored hash at (level, idx, slot) — a physical
 // tamper/replay used by tests and the tamper-detection example.
 func (g *Global) Corrupt(level int, idx uint64, slot int, v uint64) {
-	g.store.SetSlot(globalKey(level, idx), slot, v)
+	g.setSlot(level, idx, slot, v)
 }
 
-// Forest is the functional hash storage for the TreeLing forest. Node keys
-// combine TreeLing ID and top-down node index; per-TreeLing roots are kept
-// "on-chip" (a root table indexed by TreeLing), which is what isolates the
-// TreeLings from each other.
+// tlArena is one TreeLing's dense node storage: NodesPerTreeLing nodes of
+// arity slots each, top-down node indexing, plus per-node materialization
+// flags. Absent nodes keep all-zero slots, so reads never need the flag.
+type tlArena struct {
+	slots []uint64 // NodesPerTreeLing * arity
+	has   []bool
+}
+
+// Forest is the functional hash storage for the TreeLing forest: a dense
+// per-TreeLing arena indexed by (TreeLing, node, slot) arithmetic, with
+// per-TreeLing roots kept "on-chip" (a root table indexed by TreeLing),
+// which is what isolates the TreeLings from each other.
 type Forest struct {
-	lay   *layout.Layout
-	store *SlotStore
-	roots map[int]uint64 // on-chip TreeLing root hashes
+	lay     *layout.Layout
+	arity   int
+	tls     []*tlArena // indexed by TreeLing; nil = untouched
+	zero    []uint64   // shared all-zero node, read-only
+	roots   []uint64   // on-chip TreeLing root hashes
+	rootSet []bool
 
 	// Functional-layer statistics (leaf updates and verifications).
 	Updates  stats.Counter
@@ -260,7 +396,7 @@ type Forest struct {
 
 // NewForest creates the functional forest for a layout.
 func NewForest(lay *layout.Layout) *Forest {
-	return &Forest{lay: lay, store: NewSlotStore(lay.Arity), roots: make(map[int]uint64)}
+	return &Forest{lay: lay, arity: lay.Arity, zero: make([]uint64, lay.Arity)}
 }
 
 // RegisterMetrics registers the forest's functional counters.
@@ -275,56 +411,121 @@ func (f *Forest) ResetStats() {
 	f.Verifies.Reset()
 }
 
-// Key encodes a forest node key.
+// Key encodes a forest node key (the map-backed shadow store's encoding).
 func Key(tl, nodeIdx int) uint64 { return uint64(tl)<<24 | uint64(nodeIdx) }
+
+// peek returns tl's arena, or nil if untouched.
+func (f *Forest) peek(tl int) *tlArena {
+	if tl >= len(f.tls) {
+		return nil
+	}
+	return f.tls[tl]
+}
+
+// arena returns tl's arena, materializing it.
+func (f *Forest) arena(tl int) *tlArena {
+	for len(f.tls) <= tl {
+		//ivlint:allow hotalloc — lazy arena-directory growth: bounded by the TreeLing count, quiesces after warmup
+		f.tls = append(f.tls, nil)
+	}
+	if f.tls[tl] == nil {
+		f.tls[tl] = &tlArena{
+			slots: make([]uint64, f.lay.NodesPerTreeLing*f.arity),
+			has:   make([]bool, f.lay.NodesPerTreeLing),
+		}
+	}
+	return f.tls[tl]
+}
 
 // Slot returns the hash stored in a TreeLing node slot.
 func (f *Forest) Slot(tl, nodeIdx, slot int) uint64 {
-	return f.store.Slot(Key(tl, nodeIdx), slot)
+	a := f.peek(tl)
+	if a == nil {
+		return 0
+	}
+	return a.slots[nodeIdx*f.arity+slot]
+}
+
+func (f *Forest) nodeHash(a *tlArena, nodeIdx int) uint64 {
+	if a == nil {
+		return crypto.NodeHash(f.zero...)
+	}
+	off := nodeIdx * f.arity
+	return crypto.NodeHash(a.slots[off : off+f.arity]...)
 }
 
 // SetSlot stores a hash into a TreeLing node slot and recomputes the path
 // from that node to the TreeLing root, refreshing the on-chip root.
+//
+//ivlint:hotpath
 func (f *Forest) SetSlot(tl, nodeIdx, slot int, h uint64) {
 	f.Updates.Inc()
-	f.store.SetSlot(Key(tl, nodeIdx), slot, h)
-	f.rehash(tl, nodeIdx)
+	a := f.arena(tl)
+	a.has[nodeIdx] = true
+	a.slots[nodeIdx*f.arity+slot] = h
+	f.rehash(tl, a, nodeIdx)
 }
 
-func (f *Forest) rehash(tl, nodeIdx int) {
+func (f *Forest) setRoot(tl int, h uint64) {
+	for len(f.roots) <= tl {
+		//ivlint:allow hotalloc — on-chip root registers grow to the TreeLing count once, then stay put
+		f.roots = append(f.roots, 0)
+		//ivlint:allow hotalloc — grows in lockstep with roots above
+		f.rootSet = append(f.rootSet, false)
+	}
+	f.roots[tl] = h
+	f.rootSet[tl] = true
+}
+
+func (f *Forest) dropRoot(tl int) {
+	if tl < len(f.roots) {
+		f.roots[tl] = 0
+		f.rootSet[tl] = false
+	}
+}
+
+func (f *Forest) rehash(tl int, a *tlArena, nodeIdx int) {
 	cur := nodeIdx
 	for {
-		h := f.store.NodeHash(Key(tl, cur))
+		h := f.nodeHash(a, cur)
 		parent, slot, ok := f.lay.Parent(cur)
 		if !ok {
-			f.roots[tl] = h
+			f.setRoot(tl, h)
 			return
 		}
-		f.store.SetSlot(Key(tl, parent), slot, h)
+		a.has[parent] = true
+		a.slots[parent*f.arity+slot] = h
 		cur = parent
 	}
 }
 
 // Verify checks the chain from (nodeIdx, slot) holding hash h up to the
 // on-chip TreeLing root.
+//
+//ivlint:hotpath
 func (f *Forest) Verify(tl, nodeIdx, slot int, h uint64) error {
 	f.Verifies.Inc()
-	if got := f.store.Slot(Key(tl, nodeIdx), slot); got != h {
+	a := f.peek(tl)
+	if got := f.Slot(tl, nodeIdx, slot); got != h {
 		return newIntegrityError(ViolationTreeNode, tl, f.lay.LevelOf(nodeIdx), nodeIdx, slot,
 			f.nodeAddr(tl, nodeIdx), "stored slot disagrees with leaf hash")
 	}
 	cur := nodeIdx
 	for {
-		nh := f.store.NodeHash(Key(tl, cur))
+		nh := f.nodeHash(a, cur)
 		parent, slot, ok := f.lay.Parent(cur)
 		if !ok {
-			if f.roots[tl] != nh {
+			if f.Root(tl) != nh {
 				return newIntegrityError(ViolationRoot, tl, f.lay.TreeLingHeight, cur, -1,
 					f.nodeAddr(tl, cur), "top node disagrees with on-chip root")
 			}
 			return nil
 		}
-		if got := f.store.Slot(Key(tl, parent), slot); got != nh {
+		var got uint64
+		if a != nil {
+			got = a.slots[parent*f.arity+slot]
+		}
+		if got != nh {
 			return newIntegrityError(ViolationTreeNode, tl, f.lay.LevelOf(parent), parent, slot,
 				f.nodeAddr(tl, parent), "stored slot disagrees with recomputed path hash")
 		}
@@ -341,17 +542,38 @@ func (f *Forest) nodeAddr(tl, nodeIdx int) uint64 {
 }
 
 // Root returns the on-chip root hash of a TreeLing.
-func (f *Forest) Root(tl int) uint64 { return f.roots[tl] }
+func (f *Forest) Root(tl int) uint64 {
+	if tl < len(f.roots) && f.rootSet[tl] {
+		return f.roots[tl]
+	}
+	return 0
+}
 
 // HasRoot reports whether the on-chip root table has an entry for tl.
-func (f *Forest) HasRoot(tl int) bool { _, ok := f.roots[tl]; return ok }
+func (f *Forest) HasRoot(tl int) bool { return tl < len(f.rootSet) && f.rootSet[tl] }
 
 // Clone deep-copies the forest: the persisted node image plus the on-chip
 // root table (which RecoverRoot rebuilds from the image alone).
 func (f *Forest) Clone() *Forest {
-	c := &Forest{lay: f.lay, store: f.store.Clone(), roots: make(map[int]uint64, len(f.roots))}
-	for tl, r := range f.roots {
-		c.roots[tl] = r
+	c := &Forest{
+		lay:     f.lay,
+		arity:   f.arity,
+		tls:     make([]*tlArena, len(f.tls)),
+		zero:    f.zero,
+		roots:   append([]uint64(nil), f.roots...),
+		rootSet: append([]bool(nil), f.rootSet...),
+	}
+	for tl, a := range f.tls {
+		if a == nil {
+			continue
+		}
+		cp := &tlArena{
+			slots: make([]uint64, len(a.slots)),
+			has:   make([]bool, len(a.has)),
+		}
+		copy(cp.slots, a.slots)
+		copy(cp.has, a.has)
+		c.tls[tl] = cp
 	}
 	return c
 }
@@ -360,14 +582,16 @@ func (f *Forest) Clone() *Forest {
 // The on-chip root table is deliberately NOT restored — it is lost at a
 // crash; the recovery path must rebuild it per TreeLing via RecoverRoot.
 func (f *Forest) RestoreFrom(img *Forest) {
-	f.store = img.store.Clone()
-	f.roots = make(map[int]uint64)
+	c := img.Clone()
+	f.tls = c.tls
+	f.roots = nil
+	f.rootSet = nil
 }
 
 // RestoreFrom replaces the global tree's node image with a deep copy of
 // img's. The on-chip root register is NOT restored; call RecoverRoot.
 func (g *Global) RestoreFrom(img *Global) {
-	g.store = img.store.Clone()
+	g.levels = img.Clone().levels
 	g.root = 0
 }
 
@@ -377,15 +601,19 @@ func (g *Global) RestoreFrom(img *Global) {
 // the root, this invariant holds for any cleanly written image; a
 // violation means the image was torn mid-update.
 func (f *Forest) VerifyTreeLing(tl int) error {
+	a := f.peek(tl)
+	if a == nil {
+		return nil
+	}
 	for i := 1; i < f.lay.NodesPerTreeLing; i++ {
-		if !f.store.Has(Key(tl, i)) {
+		if !a.has[i] {
 			continue
 		}
 		parent, slot, ok := f.lay.Parent(i)
 		if !ok {
 			continue
 		}
-		if f.store.Slot(Key(tl, parent), slot) != f.store.NodeHash(Key(tl, i)) {
+		if a.slots[parent*f.arity+slot] != f.nodeHash(a, i) {
 			return newIntegrityError(ViolationTorn, tl, f.lay.LevelOf(parent), parent, slot,
 				f.nodeAddr(tl, parent), "persisted parent link disagrees with child hash (torn image)")
 		}
@@ -401,40 +629,43 @@ func (f *Forest) RecoverRoot(tl int) error {
 	if err := f.VerifyTreeLing(tl); err != nil {
 		return err
 	}
-	if !f.store.Has(Key(tl, 0)) {
-		delete(f.roots, tl)
+	a := f.peek(tl)
+	if a == nil || !a.has[0] {
+		f.dropRoot(tl)
 		return nil
 	}
-	f.roots[tl] = f.store.NodeHash(Key(tl, 0))
+	f.setRoot(tl, f.nodeHash(a, 0))
 	return nil
 }
 
 // ResetTreeLing clears every node of a TreeLing (used when a TreeLing is
 // reclaimed from a destroyed domain).
 func (f *Forest) ResetTreeLing(tl int) {
-	for i := 0; i < f.lay.NodesPerTreeLing; i++ {
-		f.store.Drop(Key(tl, i))
+	if tl < len(f.tls) {
+		f.tls[tl] = nil
 	}
-	delete(f.roots, tl)
+	f.dropRoot(tl)
 }
 
 // Corrupt overwrites a stored slot hash — a physical tamper used in tests.
 func (f *Forest) Corrupt(tl, nodeIdx, slot int, v uint64) {
-	f.store.SetSlot(Key(tl, nodeIdx), slot, v)
+	a := f.arena(tl)
+	a.has[nodeIdx] = true
+	a.slots[nodeIdx*f.arity+slot] = v
 }
 
 // DigestTreeLing folds one TreeLing's materialized node contents (index
 // order) into a single hash, for state-equality checks after recovery.
 func (f *Forest) DigestTreeLing(tl int) uint64 {
+	a := f.peek(tl)
 	var parts []uint64
-	for i := 0; i < f.lay.NodesPerTreeLing; i++ {
-		key := Key(tl, i)
-		if !f.store.Has(key) {
-			continue
-		}
-		parts = append(parts, uint64(i))
-		for s := 0; s < f.store.arity; s++ {
-			parts = append(parts, f.store.Slot(key, s))
+	if a != nil {
+		for i := 0; i < f.lay.NodesPerTreeLing; i++ {
+			if !a.has[i] {
+				continue
+			}
+			parts = append(parts, uint64(i))
+			parts = append(parts, a.slots[i*f.arity:(i+1)*f.arity]...)
 		}
 	}
 	return crypto.NodeHash(parts...)
@@ -444,11 +675,11 @@ func (f *Forest) DigestTreeLing(tl int) uint64 {
 // order) into a single hash, for state-equality checks after recovery.
 func (g *Global) DigestImage() uint64 {
 	var parts []uint64
-	for _, key := range g.store.Keys() {
-		parts = append(parts, key)
-		for s := 0; s < g.store.arity; s++ {
-			parts = append(parts, g.store.Slot(key, s))
-		}
-	}
+	g.forEachNode(func(level int, idx uint64) {
+		parts = append(parts, globalKey(level, idx))
+		c := g.peek(level, idx)
+		off := int(idx&gchunkMask) * g.arity
+		parts = append(parts, c.slots[off:off+g.arity]...)
+	})
 	return crypto.NodeHash(parts...)
 }

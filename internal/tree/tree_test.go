@@ -51,7 +51,7 @@ func TestGlobalDetectsNodeTampering(t *testing.T) {
 	lay := testLayout()
 	g := NewGlobal(lay)
 	s := ctr.NewStore(7)
-	for p := uint64(0); p < 20; p++ {
+	for p := layout.PFN(0); p < 20; p++ {
 		s.Increment(p, 0)
 		g.Update(p, s.Snapshot(p))
 	}
@@ -181,7 +181,7 @@ func TestGlobalUpdateVerifyProperty(t *testing.T) {
 	lay := testLayout()
 	g := NewGlobal(lay)
 	f := func(pfnRaw uint32, major uint64, minor uint8) bool {
-		pfn := uint64(pfnRaw) % lay.Pages
+		pfn := layout.PFN(uint64(pfnRaw) % lay.Pages)
 		blk := ctr.Block{Major: major}
 		blk.Minors[0] = minor
 		g.Update(pfn, blk)
